@@ -1,0 +1,37 @@
+package algo
+
+import (
+	"flash"
+	"flash/graph"
+)
+
+// DiameterEstimate lower-bounds the graph diameter with the classic double
+// sweep: BFS from an arbitrary vertex, then BFS again from the farthest
+// vertex found; the second eccentricity is the estimate. Exact on trees,
+// and a tight lower bound in practice.
+func DiameterEstimate(g *graph.Graph, opts ...flash.Option) (int32, error) {
+	if g.NumVertices() == 0 {
+		return 0, nil
+	}
+	first, err := BFS(g, 0, opts...)
+	if err != nil {
+		return 0, err
+	}
+	far, farV := int32(0), graph.VID(0)
+	for v, d := range first {
+		if d > far {
+			far, farV = d, graph.VID(v)
+		}
+	}
+	second, err := BFS(g, farV, opts...)
+	if err != nil {
+		return 0, err
+	}
+	est := int32(0)
+	for _, d := range second {
+		if d > est {
+			est = d
+		}
+	}
+	return est, nil
+}

@@ -1,0 +1,358 @@
+package algo
+
+// Sequential reference implementations used to validate the FLASH
+// algorithms. These are deliberately simple (textbook) versions.
+
+import (
+	"sort"
+
+	"flash/graph"
+)
+
+func refBFS(g *graph.Graph, root graph.VID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return dist
+}
+
+// refComponents returns a canonical component id (min member) per vertex.
+func refComponents(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		ru, rv := find(int(u)), find(int(v))
+		if ru != rv {
+			parent[ru] = rv
+		}
+		return true
+	})
+	minOf := make(map[int]uint32)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		if m, ok := minOf[r]; !ok || uint32(v) < m {
+			minOf[r] = uint32(v)
+		}
+	}
+	out := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		out[v] = minOf[find(v)]
+	}
+	return out
+}
+
+// samePartition checks that two labelings induce the same partition.
+func samePartition[A, B comparable](a []A, b []B) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[A]B)
+	rev := make(map[B]A)
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if y, ok := rev[b[i]]; ok && y != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// refBC is sequential Brandes from one source on an unweighted graph.
+func refBC(g *graph.Graph, root graph.VID) []float64 {
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[root] = 1
+	dist[root] = 0
+	var order []graph.VID
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		order = append(order, u)
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		for _, v := range g.OutNeighbors(w) {
+			if dist[v] == dist[w]+1 {
+				delta[w] += sigma[w] / sigma[v] * (1 + delta[v])
+			}
+		}
+	}
+	return delta
+}
+
+// refCore is sequential peeling k-core decomposition.
+func refCore(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.VID(v))
+	}
+	core := make([]int32, n)
+	removed := make([]bool, n)
+	type vd struct{ v, d int }
+	// Classic peeling: remove a minimum-degree vertex; its core number is
+	// the running maximum of the minimum degrees seen so far.
+	maxSeen := 0
+	for round := 0; round < n; round++ {
+		best := vd{-1, 1 << 30}
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < best.d {
+				best = vd{v, deg[v]}
+			}
+		}
+		if best.d > maxSeen {
+			maxSeen = best.d
+		}
+		core[best.v] = int32(maxSeen)
+		removed[best.v] = true
+		for _, u := range g.OutNeighbors(graph.VID(best.v)) {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+// refTC counts triangles by per-edge sorted intersection.
+func refTC(g *graph.Graph) int64 {
+	n := g.NumVertices()
+	adj := make([][]uint32, n)
+	for v := 0; v < n; v++ {
+		nb := g.OutNeighbors(graph.VID(v))
+		s := make([]uint32, len(nb))
+		for i, x := range nb {
+			s[i] = uint32(x)
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		adj[v] = s
+	}
+	var total int64
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if u < v {
+			total += intersectCount(adj[u], adj[v])
+		}
+		return true
+	})
+	return total / 3 // each triangle counted at its 3 edges
+}
+
+// refRC counts 4-cycles by brute force over vertex quadruples' diagonals.
+func refRC(g *graph.Graph) int64 {
+	n := g.NumVertices()
+	var total int64
+	// For each unordered pair (a,b), count common neighbors t; rectangles
+	// with diagonal (a,b) = C(t,2). Every rectangle has exactly 2 diagonals.
+	for a := 0; a < n; a++ {
+		na := g.OutNeighbors(graph.VID(a))
+		set := make(map[graph.VID]bool, len(na))
+		for _, x := range na {
+			set[x] = true
+		}
+		for b := a + 1; b < n; b++ {
+			var t int64
+			for _, x := range g.OutNeighbors(graph.VID(b)) {
+				if set[x] {
+					t++
+				}
+			}
+			total += t * (t - 1) / 2
+		}
+	}
+	return total / 2
+}
+
+// refCL counts k-cliques by recursive brute force.
+func refCL(g *graph.Graph, k int) int64 {
+	n := g.NumVertices()
+	var count func(start int, chosen []graph.VID) int64
+	count = func(start int, chosen []graph.VID) int64 {
+		if len(chosen) == k {
+			return 1
+		}
+		var total int64
+		for v := start; v < n; v++ {
+			ok := true
+			for _, c := range chosen {
+				if !g.HasEdge(c, graph.VID(v)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				total += count(v+1, append(chosen, graph.VID(v)))
+			}
+		}
+		return total
+	}
+	return count(0, nil)
+}
+
+// refSCC labels strongly connected components with iterative Tarjan.
+func refSCC(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack, callStack []int32
+	var next int32
+	var nComp int32
+	iter := make([]int, n)
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		callStack = append(callStack, int32(s))
+		for len(callStack) > 0 {
+			v := callStack[len(callStack)-1]
+			if index[v] == -1 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+				iter[v] = 0
+			}
+			advanced := false
+			nbrs := g.OutNeighbors(graph.VID(v))
+			for iter[v] < len(nbrs) {
+				w := int32(nbrs[iter[v]])
+				iter[v]++
+				if index[w] == -1 {
+					callStack = append(callStack, w)
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// refBCCCount counts biconnected components (Hopcroft–Tarjan, recursive).
+func refBCCCount(g *graph.Graph) int {
+	n := g.NumVertices()
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	timer := 0
+	count := 0
+	var edgeStack [][2]graph.VID
+	var dfs func(u, parent graph.VID)
+	dfs = func(u, parent graph.VID) {
+		disc[u] = timer
+		low[u] = timer
+		timer++
+		for _, v := range g.OutNeighbors(u) {
+			if v == parent {
+				parent = graph.NoVertex // skip the tree edge once (parallel-safe)
+				continue
+			}
+			if disc[v] == -1 {
+				edgeStack = append(edgeStack, [2]graph.VID{u, v})
+				dfs(v, u)
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+				if low[v] >= disc[u] {
+					// pop one biconnected component
+					count++
+					for {
+						e := edgeStack[len(edgeStack)-1]
+						edgeStack = edgeStack[:len(edgeStack)-1]
+						if e[0] == u && e[1] == v {
+							break
+						}
+					}
+				}
+			} else if disc[v] < disc[u] {
+				edgeStack = append(edgeStack, [2]graph.VID{u, v})
+				if disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] == -1 {
+			dfs(graph.VID(s), graph.NoVertex)
+		}
+	}
+	return count
+}

@@ -1,0 +1,599 @@
+package gas
+
+import (
+	"sort"
+
+	"flash/graph"
+)
+
+// Table V / Table VI applications expressed in the GAS model. Multi-phased
+// algorithms (BC, MIS, MM, KC) chain one-iteration engine runs from the
+// driver, the workaround PowerGraph programs use; the model itself has no
+// phase concept.
+
+const none = int32(-1)
+
+// BFS computes hop distances from root.
+func BFS(g *graph.Graph, root graph.VID, cfg Config) ([]int32, error) {
+	type v struct{ Dis int32 }
+	res, err := Run(g, func(id graph.VID) v {
+		if id == root {
+			return v{0}
+		}
+		return v{none}
+	}, nil, Program[v, int32]{
+		Gather: func(_ graph.VID, _ *v, _ graph.VID, nbr *v, _ float32) (int32, bool) {
+			if nbr.Dis == none {
+				return 0, false
+			}
+			return nbr.Dis + 1, true
+		},
+		Sum: func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Apply: func(_ graph.VID, val *v, acc int32, n int) bool {
+			if val.Dis == none && n > 0 {
+				val.Dis = acc
+				return true
+			}
+			return false
+		},
+		Scatter: true,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.Dis
+	}
+	return out, nil
+}
+
+// CC computes connected components by min-label gathering.
+func CC(g *graph.Graph, cfg Config) ([]uint32, error) {
+	type v struct{ CC uint32 }
+	res, err := Run(g, func(id graph.VID) v { return v{uint32(id)} }, nil, Program[v, uint32]{
+		Gather: func(_ graph.VID, _ *v, _ graph.VID, nbr *v, _ float32) (uint32, bool) {
+			return nbr.CC, true
+		},
+		Sum: func(a, b uint32) uint32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Apply: func(_ graph.VID, val *v, acc uint32, n int) bool {
+			if n > 0 && acc < val.CC {
+				val.CC = acc
+				return true
+			}
+			return false
+		},
+		Scatter: true,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.CC
+	}
+	return out, nil
+}
+
+// LPA runs label propagation for maxIters rounds (all vertices active).
+func LPA(g *graph.Graph, maxIters int, cfg Config) ([]int32, error) {
+	type v struct{ C int32 }
+	labels := make([]int32, g.NumVertices())
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	for it := 0; it < maxIters; it++ {
+		step := cfg
+		step.MaxIters = 1
+		res, err := Run(g, func(id graph.VID) v { return v{labels[id]} }, nil, Program[v, []int32]{
+			Gather: func(_ graph.VID, _ *v, _ graph.VID, nbr *v, _ float32) ([]int32, bool) {
+				return []int32{nbr.C}, true
+			},
+			Sum: func(a, b []int32) []int32 { return append(a, b...) },
+			Apply: func(_ graph.VID, val *v, acc []int32, n int) bool {
+				if n == 0 {
+					return false
+				}
+				count := map[int32]int{}
+				best, bestN := val.C, 0
+				for _, l := range acc {
+					count[l]++
+					if count[l] > bestN || (count[l] == bestN && l < best) {
+						best, bestN = l, count[l]
+					}
+				}
+				if best != val.C {
+					val.C = best
+					return true
+				}
+				return false
+			},
+		}, step)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for i, x := range res.Values {
+			if labels[i] != x.C {
+				labels[i] = x.C
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels, nil
+}
+
+// BC computes Brandes dependency scores from root: a forward gather run for
+// levels and path counts, then one one-iteration run per level backwards.
+func BC(g *graph.Graph, root graph.VID, cfg Config) ([]float64, error) {
+	type fv struct {
+		Level int32
+		Sigma float64
+	}
+	type gv struct {
+		Lev int32
+		Sig float64
+	}
+	fres, err := Run(g, func(id graph.VID) fv {
+		if id == root {
+			return fv{Level: 0, Sigma: 1}
+		}
+		return fv{Level: none}
+	}, nil, Program[fv, gv]{
+		Gather: func(_ graph.VID, _ *fv, _ graph.VID, nbr *fv, _ float32) (gv, bool) {
+			if nbr.Level == none {
+				return gv{}, false
+			}
+			return gv{Lev: nbr.Level, Sig: nbr.Sigma}, true
+		},
+		Sum: func(a, b gv) gv {
+			if a.Lev < b.Lev {
+				return a
+			}
+			if b.Lev < a.Lev {
+				return b
+			}
+			return gv{Lev: a.Lev, Sig: a.Sig + b.Sig}
+		},
+		Apply: func(_ graph.VID, val *fv, acc gv, n int) bool {
+			if val.Level == none && n > 0 {
+				val.Level = acc.Lev + 1
+				val.Sigma = acc.Sig
+				return true
+			}
+			return false
+		},
+		Scatter: true,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	levels := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	maxLevel := int32(0)
+	for i, x := range fres.Values {
+		levels[i] = x.Level
+		sigma[i] = x.Sigma
+		if x.Level > maxLevel {
+			maxLevel = x.Level
+		}
+	}
+	for lev := maxLevel - 1; lev >= 0; lev-- {
+		var frontier []graph.VID
+		for i := 0; i < n; i++ {
+			if levels[i] == lev {
+				frontier = append(frontier, graph.VID(i))
+			}
+		}
+		step := cfg
+		step.MaxIters = 1
+		type bv struct{ Delta float64 }
+		res, err := Run(g, func(id graph.VID) bv { return bv{delta[id]} }, frontier, Program[bv, float64]{
+			Gather: func(self graph.VID, _ *bv, nbr graph.VID, nv *bv, _ float32) (float64, bool) {
+				if levels[nbr] != levels[self]+1 {
+					return 0, false
+				}
+				return sigma[self] / sigma[nbr] * (1 + nv.Delta), true
+			},
+			Sum: func(a, b float64) float64 { return a + b },
+			Apply: func(_ graph.VID, val *bv, acc float64, n int) bool {
+				if n > 0 {
+					val.Delta += acc
+					return true
+				}
+				return false
+			},
+		}, step)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range frontier {
+			delta[v] = res.Values[v].Delta
+		}
+	}
+	return delta, nil
+}
+
+// MIS chains two one-iteration runs per round: select local priority minima
+// among the undecided, then dominate their neighbors.
+func MIS(g *graph.Graph, cfg Config) ([]bool, error) {
+	type v struct {
+		R   uint64
+		In  bool
+		Out bool
+	}
+	n := g.NumVertices()
+	state := make([]v, n)
+	for i := range state {
+		state[i] = v{R: uint64(g.OutDegree(graph.VID(i)))*uint64(n) + uint64(i)}
+	}
+	step := cfg
+	step.MaxIters = 1
+	for {
+		var undecided []graph.VID
+		for i := range state {
+			if !state[i].In && !state[i].Out {
+				undecided = append(undecided, graph.VID(i))
+			}
+		}
+		if len(undecided) == 0 {
+			break
+		}
+		// Phase A: minima join the set.
+		res, err := Run(g, func(id graph.VID) v { return state[id] }, undecided, Program[v, uint64]{
+			Gather: func(_ graph.VID, _ *v, _ graph.VID, nbr *v, _ float32) (uint64, bool) {
+				if nbr.In || nbr.Out {
+					return 0, false
+				}
+				return nbr.R, true
+			},
+			Sum: func(a, b uint64) uint64 {
+				if a < b {
+					return a
+				}
+				return b
+			},
+			Apply: func(_ graph.VID, val *v, acc uint64, cnt int) bool {
+				if !val.In && !val.Out && (cnt == 0 || val.R < acc) {
+					val.In = true
+					return true
+				}
+				return false
+			},
+		}, step)
+		if err != nil {
+			return nil, err
+		}
+		state = res.Values
+		// Phase B: neighbors of members become dominated.
+		res, err = Run(g, func(id graph.VID) v { return state[id] }, undecided, Program[v, uint8]{
+			Gather: func(_ graph.VID, _ *v, _ graph.VID, nbr *v, _ float32) (uint8, bool) {
+				if nbr.In {
+					return 1, true
+				}
+				return 0, false
+			},
+			Sum: func(a, b uint8) uint8 { return a | b },
+			Apply: func(_ graph.VID, val *v, acc uint8, cnt int) bool {
+				if !val.In && !val.Out && cnt > 0 {
+					val.Out = true
+					return true
+				}
+				return false
+			},
+		}, step)
+		if err != nil {
+			return nil, err
+		}
+		state = res.Values
+	}
+	out := make([]bool, n)
+	for i, x := range state {
+		out[i] = x.In
+	}
+	return out, nil
+}
+
+// MM chains propose and marry one-iteration runs.
+func MM(g *graph.Graph, cfg Config) ([]int32, error) {
+	type v struct {
+		S int32
+		P int32
+	}
+	n := g.NumVertices()
+	state := make([]v, n)
+	for i := range state {
+		state[i] = v{S: none, P: none}
+	}
+	step := cfg
+	step.MaxIters = 1
+	for {
+		var unmatched []graph.VID
+		for i := range state {
+			state[i].P = none
+			if state[i].S == none {
+				unmatched = append(unmatched, graph.VID(i))
+			}
+		}
+		// Any unmatched adjacent pair left? (driver-side aggregator)
+		pairLeft := false
+		g.Edges(func(a, b graph.VID, _ float32) bool {
+			if state[a].S == none && state[b].S == none {
+				pairLeft = true
+				return false
+			}
+			return true
+		})
+		if !pairLeft {
+			break
+		}
+		// Propose: best unmatched suitor.
+		res, err := Run(g, func(id graph.VID) v { return state[id] }, unmatched, Program[v, int32]{
+			Gather: func(_ graph.VID, _ *v, nbr graph.VID, nv *v, _ float32) (int32, bool) {
+				if nv.S != none {
+					return 0, false
+				}
+				return int32(nbr), true
+			},
+			Sum: func(a, b int32) int32 {
+				if a > b {
+					return a
+				}
+				return b
+			},
+			Apply: func(_ graph.VID, val *v, acc int32, cnt int) bool {
+				if val.S == none && cnt > 0 {
+					val.P = acc
+					return true
+				}
+				return false
+			},
+		}, step)
+		if err != nil {
+			return nil, err
+		}
+		state = res.Values
+		// Marry mutual proposals.
+		res, err = Run(g, func(id graph.VID) v { return state[id] }, unmatched, Program[v, int32]{
+			Gather: func(self graph.VID, sv *v, nbr graph.VID, nv *v, _ float32) (int32, bool) {
+				if sv.P == int32(nbr) && nv.P == int32(self) {
+					return int32(nbr), true
+				}
+				return 0, false
+			},
+			Sum: func(a, b int32) int32 { return a },
+			Apply: func(_ graph.VID, val *v, acc int32, cnt int) bool {
+				if val.S == none && cnt > 0 {
+					val.S = acc
+					return true
+				}
+				return false
+			},
+		}, step)
+		if err != nil {
+			return nil, err
+		}
+		state = res.Values
+	}
+	out := make([]int32, n)
+	for i, x := range state {
+		out[i] = x.S
+	}
+	return out, nil
+}
+
+// KC computes the k-core decomposition by peeling with one engine run per
+// removal wave.
+func KC(g *graph.Graph, cfg Config) ([]int32, error) {
+	type v struct {
+		D       int32
+		Core    int32
+		Removed bool
+		Round   int32
+	}
+	n := g.NumVertices()
+	state := make([]v, n)
+	for i := range state {
+		state[i] = v{D: int32(g.OutDegree(graph.VID(i))), Round: -1}
+	}
+	step := cfg
+	step.MaxIters = 1
+	_, maxDeg := g.MaxOutDegree()
+	round := int32(0)
+	for k := int32(1); k <= int32(maxDeg)+1; k++ {
+		for {
+			round++
+			r := round
+			res, err := Run(g, func(id graph.VID) v { return state[id] }, nil, Program[v, int32]{
+				Gather: func(_ graph.VID, _ *v, _ graph.VID, nbr *v, _ float32) (int32, bool) {
+					if nbr.Removed && nbr.Round == r-1 {
+						return 1, true
+					}
+					return 0, false
+				},
+				Sum: func(a, b int32) int32 { return a + b },
+				Apply: func(_ graph.VID, val *v, acc int32, cnt int) bool {
+					if val.Removed {
+						return false
+					}
+					val.D -= acc
+					if val.D < k {
+						val.Removed = true
+						val.Round = r
+						val.Core = k - 1
+						return true
+					}
+					return cnt > 0
+				},
+			}, step)
+			if err != nil {
+				return nil, err
+			}
+			state = res.Values
+			any := false
+			remaining := false
+			for i := range state {
+				if state[i].Round == r && state[i].Removed {
+					any = true
+				}
+				if !state[i].Removed {
+					remaining = true
+				}
+			}
+			if !any {
+				break
+			}
+			if !remaining {
+				break
+			}
+		}
+		left := false
+		for i := range state {
+			if !state[i].Removed {
+				left = true
+				break
+			}
+		}
+		if !left {
+			break
+		}
+	}
+	out := make([]int32, n)
+	for i, x := range state {
+		out[i] = x.Core
+	}
+	return out, nil
+}
+
+// TC counts triangles by gathering ranked neighbor lists — the heavyweight
+// list-shipping PowerGraph needs (Table I notes its TC takes 181 LLoC
+// because the model lacks list exchange primitives).
+func TC(g *graph.Graph, cfg Config) (int64, error) {
+	type v struct {
+		Out   []uint32
+		Count int64
+	}
+	rank := func(a, b graph.VID) bool {
+		da, db := g.OutDegree(a), g.OutDegree(b)
+		return da > db || (da == db && a > b)
+	}
+	step := cfg
+	step.MaxIters = 1
+	// Phase 1: collect higher-ranked neighbor lists.
+	res, err := Run(g, func(graph.VID) v { return v{} }, nil, Program[v, []uint32]{
+		Gather: func(self graph.VID, _ *v, nbr graph.VID, _ *v, _ float32) ([]uint32, bool) {
+			if rank(nbr, self) {
+				return []uint32{uint32(nbr)}, true
+			}
+			return nil, false
+		},
+		Sum: func(a, b []uint32) []uint32 { return append(a, b...) },
+		Apply: func(_ graph.VID, val *v, acc []uint32, cnt int) bool {
+			val.Out = acc
+			sort.Slice(val.Out, func(i, j int) bool { return val.Out[i] < val.Out[j] })
+			return true
+		},
+	}, step)
+	if err != nil {
+		return 0, err
+	}
+	state := res.Values
+	// Phase 2: intersect along each edge once (counted at the larger id).
+	res, err = Run(g, func(id graph.VID) v { return state[id] }, nil, Program[v, int64]{
+		Gather: func(self graph.VID, sv *v, nbr graph.VID, nv *v, _ float32) (int64, bool) {
+			if nbr >= self {
+				return 0, false
+			}
+			return sortedIntersect(nv.Out, sv.Out), true
+		},
+		Sum: func(a, b int64) int64 { return a + b },
+		Apply: func(_ graph.VID, val *v, acc int64, cnt int) bool {
+			val.Count = acc
+			return true
+		},
+	}, step)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, x := range res.Values {
+		total += x.Count
+	}
+	return total, nil
+}
+
+func sortedIntersect(a, b []uint32) int64 {
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// GC gathers the colors of higher-ranked neighbors every round and moves to
+// the smallest free color until stable.
+func GC(g *graph.Graph, cfg Config) ([]int32, error) {
+	type v struct{ C int32 }
+	rank := func(a, b graph.VID) bool {
+		da, db := g.OutDegree(a), g.OutDegree(b)
+		return da > db || (da == db && a > b)
+	}
+	res, err := Run(g, func(graph.VID) v { return v{} }, nil, Program[v, []int32]{
+		Gather: func(self graph.VID, _ *v, nbr graph.VID, nv *v, _ float32) ([]int32, bool) {
+			if rank(nbr, self) {
+				return []int32{nv.C}, true
+			}
+			return nil, false
+		},
+		Sum: func(a, b []int32) []int32 { return append(a, b...) },
+		Apply: func(_ graph.VID, val *v, acc []int32, cnt int) bool {
+			used := make(map[int32]bool, len(acc))
+			for _, c := range acc {
+				used[c] = true
+			}
+			c := int32(0)
+			for used[c] {
+				c++
+			}
+			if c != val.C {
+				val.C = c
+				return true
+			}
+			return false
+		},
+		Scatter: true,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.C
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+// Package gas is a miniature Gather-Apply-Scatter engine (PowerGraph's
+// synchronous model): each round, every active vertex gathers an
+// associative+commutative accumulation over its in-edges, applies it to its
+// value, and — when the apply changed the value — scatters activation to its
+// out-neighbors. The model's defining restrictions hold: data moves only
+// between immediate neighbors, the control flow is fixed (no vertexSubset
+// algebra), and multi-phased algorithms must chain separate engine runs.
+//
+// Updated values and activations are exchanged through the shared comm
+// substrate; like PowerGraph, every replica of a vertex observes the
+// master's value of the previous round.
+package gas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"flash/graph"
+	"flash/internal/bitset"
+	"flash/internal/comm"
+	"flash/internal/partition"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Workers is the number of workers (default 4).
+	Workers int
+	// MaxIters stops after this many rounds even if vertices remain active
+	// (0 = until quiescence). Drivers chaining phases set MaxIters=1.
+	MaxIters int
+}
+
+func (c *Config) fill() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+}
+
+// Program defines one GAS computation over value type V and gather type G.
+type Program[V, G any] struct {
+	// Gather produces a contribution from one in-edge (nbr -> self); ok
+	// false skips the edge. nbrVal is the neighbor's previous-round value.
+	Gather func(self graph.VID, selfVal *V, nbr graph.VID, nbrVal *V, w float32) (g G, ok bool)
+	// Sum folds two contributions (must be associative and commutative).
+	Sum func(a, b G) G
+	// Apply folds the gathered accumulation (n contributions; n may be 0)
+	// into the vertex value and reports whether the value changed.
+	Apply func(self graph.VID, val *V, acc G, n int) bool
+	// Scatter activates the out-neighbors of changed vertices when true.
+	Scatter bool
+}
+
+// Result of a run.
+type Result[V any] struct {
+	Values []V
+	Iters  int
+}
+
+// Run executes prog from the given initial values and frontier (nil =
+// all vertices active).
+func Run[V, G any](g *graph.Graph, init func(v graph.VID) V, frontier []graph.VID, prog Program[V, G], cfg Config) (Result[V], error) {
+	cfg.fill()
+	if prog.Gather == nil || prog.Apply == nil || prog.Sum == nil {
+		return Result[V]{}, fmt.Errorf("gas: program needs Gather, Sum and Apply")
+	}
+	n := g.NumVertices()
+	place := partition.NewRange(n, cfg.Workers)
+	tr := comm.NewMem(cfg.Workers)
+	defer tr.Close()
+	codec := comm.CodecFor[V]()
+
+	// Each worker holds a full value array (master slots authoritative,
+	// remote slots are replicas refreshed by broadcast) plus an active set.
+	vals := make([][]V, cfg.Workers)
+	active := make([]*bitset.Bitset, cfg.Workers)
+	nextActive := make([]*bitset.Bitset, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		vals[w] = make([]V, n)
+		for v := 0; v < n; v++ {
+			vals[w][v] = init(graph.VID(v))
+		}
+		active[w] = bitset.New(n)
+		nextActive[w] = bitset.New(n)
+		if frontier == nil {
+			active[w].Fill()
+		} else {
+			for _, v := range frontier {
+				active[w].Set(int(v))
+			}
+		}
+	}
+
+	iters := 0
+	for {
+		iters++
+		anyActive := false
+		for w := 0; w < cfg.Workers; w++ {
+			if !active[w].Empty() {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive || (cfg.MaxIters > 0 && iters > cfg.MaxIters) {
+			iters--
+			break
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				myVals := vals[w]
+				next := nextActive[w]
+				next.Reset()
+				var out []byte // (id, value) updates to broadcast
+				var acts []byte
+				type upd struct {
+					id  graph.VID
+					val V
+				}
+				var updates []upd // deferred so gathers see previous-round values
+				for l := 0; l < place.LocalCount(w); l++ {
+					self := place.GlobalID(w, l)
+					if !active[w].Test(int(self)) {
+						continue
+					}
+					// Gather over in-edges.
+					var acc G
+					contribs := 0
+					adj := g.InNeighbors(self)
+					ws := g.InWeights(self)
+					for i, nbr := range adj {
+						var wt float32
+						if ws != nil {
+							wt = ws[i]
+						}
+						gv, ok := prog.Gather(self, &myVals[self], nbr, &myVals[nbr], wt)
+						if !ok {
+							continue
+						}
+						if contribs == 0 {
+							acc = gv
+						} else {
+							acc = prog.Sum(acc, gv)
+						}
+						contribs++
+					}
+					// Apply on a copy: neighbors gathering later in this loop
+					// must still observe the previous-round value.
+					cp := myVals[self]
+					if prog.Apply(self, &cp, acc, contribs) {
+						updates = append(updates, upd{id: self, val: cp})
+						out = binary.LittleEndian.AppendUint32(out, uint32(self))
+						out = codec.Append(out, &cp)
+						if prog.Scatter {
+							for _, d := range g.OutNeighbors(self) {
+								acts = binary.LittleEndian.AppendUint32(acts, uint32(d))
+							}
+						}
+					}
+				}
+				for _, u := range updates {
+					myVals[u.id] = u.val
+				}
+				// Broadcast value updates and activations (1 byte tag).
+				for to := 0; to < cfg.Workers; to++ {
+					if to == w {
+						continue
+					}
+					if len(out) > 0 {
+						tr.Send(w, to, append([]byte{0}, out...))
+					}
+					if len(acts) > 0 {
+						tr.Send(w, to, append([]byte{1}, acts...))
+					}
+				}
+				// Local activations apply directly.
+				for off := 0; off < len(acts); off += 4 {
+					next.Set(int(binary.LittleEndian.Uint32(acts[off:])))
+				}
+				tr.EndRound(w)
+				tr.Drain(w, func(_ int, data []byte) {
+					switch data[0] {
+					case 0:
+						off := 1
+						for off < len(data) {
+							id := binary.LittleEndian.Uint32(data[off:])
+							off += 4
+							var val V
+							k, err := codec.Decode(data[off:], &val)
+							if err != nil {
+								panic("gas: corrupt value frame: " + err.Error())
+							}
+							off += k
+							myVals[id] = val
+						}
+					case 1:
+						for off := 1; off < len(data); off += 4 {
+							next.Set(int(binary.LittleEndian.Uint32(data[off:])))
+						}
+					}
+				})
+			}()
+		}
+		wg.Wait()
+		for w := 0; w < cfg.Workers; w++ {
+			active[w], nextActive[w] = nextActive[w], active[w]
+		}
+	}
+
+	res := Result[V]{Values: make([]V, n), Iters: iters}
+	for w := 0; w < cfg.Workers; w++ {
+		for l := 0; l < place.LocalCount(w); l++ {
+			gid := place.GlobalID(w, l)
+			res.Values[gid] = vals[w][gid]
+		}
+	}
+	return res, nil
+}

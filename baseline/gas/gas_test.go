@@ -1,0 +1,265 @@
+package gas
+
+import (
+	"math"
+	"testing"
+
+	"flash/graph"
+)
+
+var cfg = Config{Workers: 3}
+
+func TestBFS(t *testing.T) {
+	g := graph.GenErdosRenyi(80, 300, 1)
+	got, err := BFS(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS invariants: root 0; adjacent levels differ by at most 1; every
+	// reached non-root has a predecessor one level up.
+	if got[0] != 0 {
+		t.Fatal("root not 0")
+	}
+	for v := 1; v < g.NumVertices(); v++ {
+		if got[v] == -1 {
+			continue
+		}
+		hasParent := false
+		for _, u := range g.OutNeighbors(graph.VID(v)) {
+			if got[u] == got[v]-1 {
+				hasParent = true
+			}
+			if got[u] != -1 && (got[u]-got[v] > 1 || got[v]-got[u] > 1) {
+				t.Fatalf("edge (%d,%d) levels %d,%d", u, v, got[u], got[v])
+			}
+		}
+		if !hasParent {
+			t.Fatalf("vertex %d at level %d has no parent", v, got[v])
+		}
+	}
+}
+
+func TestCC(t *testing.T) {
+	g := graph.GenErdosRenyi(70, 120, 2)
+	got, err := CC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if got[u] != got[v] {
+			t.Fatalf("edge (%d,%d) labels differ", u, v)
+		}
+		return true
+	})
+	// Each label must be the minimum id of its component.
+	for v, l := range got {
+		if uint32(v) < l {
+			t.Fatalf("label %d above member %d", l, v)
+		}
+	}
+}
+
+func TestBC(t *testing.T) {
+	g := graph.GenErdosRenyi(40, 140, 4)
+	got, err := BC(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refBrandes(g, 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("bc[%d]=%g want %g", v, got[v], want[v])
+		}
+	}
+}
+
+func refBrandes(g *graph.Graph, root graph.VID) []float64 {
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[root] = 1
+	dist[root] = 0
+	var order []graph.VID
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		order = append(order, u)
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		for _, v := range g.OutNeighbors(w) {
+			if dist[v] == dist[w]+1 {
+				delta[w] += sigma[w] / sigma[v] * (1 + delta[v])
+			}
+		}
+	}
+	return delta
+}
+
+func TestMIS(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.GenCycle(11), graph.GenStar(12), graph.GenErdosRenyi(60, 200, 5)} {
+		in, err := MIS(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if in[u] && in[v] {
+				t.Fatalf("%s: adjacent in MIS", g.Name())
+			}
+			return true
+		})
+		for v := 0; v < g.NumVertices(); v++ {
+			if in[v] {
+				continue
+			}
+			ok := false
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				if in[u] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("%s: %d uncovered", g.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMM(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.GenPath(9), graph.GenCycle(8), graph.GenErdosRenyi(50, 150, 6)} {
+		match, err := MM(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if p := match[v]; p != -1 && (match[p] != int32(v) || !g.HasEdge(graph.VID(v), graph.VID(p))) {
+				t.Fatalf("%s: bad match %d<->%d", g.Name(), v, p)
+			}
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if match[u] == -1 && match[v] == -1 {
+				t.Fatalf("%s: not maximal at (%d,%d)", g.Name(), u, v)
+			}
+			return true
+		})
+	}
+}
+
+func TestKC(t *testing.T) {
+	g := graph.GenErdosRenyi(40, 140, 7)
+	got, err := KC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refCore(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("core[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func refCore(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.VID(v))
+	}
+	core := make([]int32, n)
+	removed := make([]bool, n)
+	maxSeen := 0
+	for round := 0; round < n; round++ {
+		bv, bd := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bd {
+				bv, bd = v, deg[v]
+			}
+		}
+		if bd > maxSeen {
+			maxSeen = bd
+		}
+		core[bv] = int32(maxSeen)
+		removed[bv] = true
+		for _, u := range g.OutNeighbors(graph.VID(bv)) {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+func TestTC(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{graph.GenComplete(5), 10},
+		{graph.GenCycle(3), 1},
+		{graph.GenStar(9), 0},
+		{graph.GenComplete(7), 35},
+	} {
+		got, err := TC(tc.g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: %d triangles want %d", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestGC(t *testing.T) {
+	g := graph.GenErdosRenyi(60, 220, 8)
+	colors, err := GC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if colors[u] == colors[v] {
+			t.Fatalf("edge (%d,%d) same color", u, v)
+		}
+		return true
+	})
+}
+
+func TestLPA(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(graph.VID(i), graph.VID(j))
+			b.AddEdge(graph.VID(i+5), graph.VID(j+5))
+		}
+	}
+	b.AddEdge(0, 5)
+	labels, err := LPA(b.Build(), 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if labels[v] != labels[1] || labels[v+5] != labels[6] {
+			t.Fatalf("cliques fragmented: %v", labels)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := graph.GenPath(3)
+	if _, err := Run(g, func(graph.VID) int32 { return 0 }, nil, Program[int32, int32]{}, cfg); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package gemini
+
+import (
+	"sync/atomic"
+
+	"flash/graph"
+)
+
+// Gemini supports the five Table V applications whose properties are
+// fixed-size: BFS, CC, BC, MIS and MM. The property arrays live outside the
+// engine (Gemini's flat-array style); push and pull callbacks perform the
+// same update.
+
+const none = int32(-1)
+
+// BFS computes hop distances from root.
+func BFS(g *graph.Graph, root graph.VID, cfg Config) []int32 {
+	e := New(g, cfg)
+	dis := make([]int32, g.NumVertices())
+	for i := range dis {
+		dis[i] = none
+	}
+	dis[root] = 0
+	u := e.NewFrontier()
+	u.Add(root)
+	level := int32(0)
+	for u.Count() > 0 {
+		level++
+		lv := level
+		u = e.ProcessEdges(u,
+			func(_, dst graph.VID, _ float32) bool {
+				if dis[dst] == none {
+					dis[dst] = lv
+					return true
+				}
+				return false
+			},
+			func(dst, _ graph.VID, _ float32) bool {
+				if dis[dst] == none {
+					dis[dst] = lv
+					return true
+				}
+				return false
+			})
+	}
+	return dis
+}
+
+// CC computes connected components by min-label propagation. Labels are
+// accessed atomically: like real Ligra/Gemini programs, a round may read a
+// neighbor's label while its owner updates it, which is safe for monotone
+// minima but needs atomic word access.
+func CC(g *graph.Graph, cfg Config) []uint32 {
+	e := New(g, cfg)
+	label := make([]uint32, g.NumVertices())
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	relax := func(dst, src graph.VID) bool {
+		l := atomic.LoadUint32(&label[src])
+		if l < atomic.LoadUint32(&label[dst]) {
+			atomic.StoreUint32(&label[dst], l)
+			return true
+		}
+		return false
+	}
+	u := e.Full()
+	for u.Count() > 0 {
+		u = e.ProcessEdges(u,
+			func(src, dst graph.VID, _ float32) bool { return relax(dst, src) },
+			func(dst, src graph.VID, _ float32) bool { return relax(dst, src) })
+	}
+	return label
+}
+
+// BC computes Brandes dependency scores from root.
+func BC(g *graph.Graph, root graph.VID, cfg Config) []float64 {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	level := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	for i := range level {
+		level[i] = none
+	}
+	level[root] = 0
+	sigma[root] = 1
+	u := e.NewFrontier()
+	u.Add(root)
+	frontiers := []*Frontier{u}
+	cur := int32(0)
+	for u.Count() > 0 {
+		cur++
+		lv := cur
+		u = e.ProcessEdges(u,
+			func(src, dst graph.VID, _ float32) bool {
+				if level[dst] == none || level[dst] == lv {
+					first := level[dst] == none
+					level[dst] = lv
+					sigma[dst] += sigma[src]
+					return first
+				}
+				return false
+			},
+			func(dst, src graph.VID, _ float32) bool {
+				if level[src] == lv-1 && (level[dst] == none || level[dst] == lv) {
+					first := level[dst] == none
+					level[dst] = lv
+					sigma[dst] += sigma[src]
+					return first
+				}
+				return false
+			})
+		if u.Count() > 0 {
+			frontiers = append(frontiers, u)
+		}
+	}
+	for i := len(frontiers) - 1; i >= 1; i-- {
+		lv := int32(i)
+		e.ProcessEdges(frontiers[i],
+			func(src, dst graph.VID, _ float32) bool {
+				if level[dst] == lv-1 {
+					delta[dst] += sigma[dst] / sigma[src] * (1 + delta[src])
+				}
+				return false
+			},
+			func(dst, src graph.VID, _ float32) bool {
+				if level[dst] == lv-1 {
+					delta[dst] += sigma[dst] / sigma[src] * (1 + delta[src])
+				}
+				return false
+			})
+	}
+	return delta
+}
+
+// MIS computes a maximal independent set with degree-based priorities.
+func MIS(g *graph.Graph, cfg Config) []bool {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	r := make([]uint64, n)
+	in := make([]bool, n)
+	out := make([]bool, n)
+	blocked := make([]bool, n)
+	for i := range r {
+		r[i] = uint64(g.OutDegree(graph.VID(i)))*uint64(n) + uint64(i)
+	}
+	active := e.Full()
+	for active.Count() > 0 {
+		for i := range blocked {
+			blocked[i] = false
+		}
+		// Mark candidates with a smaller undecided neighbor.
+		e.ProcessEdges(active,
+			func(src, dst graph.VID, _ float32) bool {
+				if !in[src] && !out[src] && !in[dst] && !out[dst] && r[src] < r[dst] {
+					blocked[dst] = true
+				}
+				return false
+			},
+			func(dst, src graph.VID, _ float32) bool {
+				if !in[src] && !out[src] && !in[dst] && !out[dst] && r[src] < r[dst] {
+					blocked[dst] = true
+				}
+				return false
+			})
+		// Unblocked undecided vertices join; then dominate neighbors.
+		joined := e.ProcessVertices(active, func(v graph.VID) bool {
+			if !in[v] && !out[v] && !blocked[v] {
+				in[v] = true
+				return true
+			}
+			return false
+		})
+		e.ProcessEdges(joined,
+			func(_, dst graph.VID, _ float32) bool {
+				if !in[dst] {
+					out[dst] = true
+				}
+				return false
+			},
+			func(dst, src graph.VID, _ float32) bool {
+				if in[src] && !in[dst] {
+					out[dst] = true
+				}
+				return false
+			})
+		active = e.ProcessVertices(active, func(v graph.VID) bool {
+			return !in[v] && !out[v]
+		})
+	}
+	return in
+}
+
+// MM computes a maximal matching by propose-and-marry rounds.
+func MM(g *graph.Graph, cfg Config) []int32 {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	s := make([]int32, n)
+	p := make([]int32, n)
+	for i := range s {
+		s[i] = none
+	}
+	active := e.Full()
+	for active.Count() > 0 {
+		active = e.ProcessVertices(active, func(v graph.VID) bool {
+			if s[v] == none {
+				p[v] = none
+				return true
+			}
+			return false
+		})
+		// Propose: targets keep their best unmatched suitor.
+		received := e.ProcessEdges(active,
+			func(src, dst graph.VID, _ float32) bool {
+				if s[dst] == none && int32(src) > p[dst] {
+					p[dst] = int32(src)
+					return true
+				}
+				return false
+			},
+			func(dst, src graph.VID, _ float32) bool {
+				if s[dst] == none && int32(src) > p[dst] {
+					p[dst] = int32(src)
+					return true
+				}
+				return false
+			})
+		// Marry mutual proposals.
+		e.ProcessEdges(received,
+			func(src, dst graph.VID, _ float32) bool {
+				if s[dst] == none && p[src] == int32(dst) && p[dst] == int32(src) {
+					s[dst] = int32(src)
+				}
+				return false
+			},
+			func(dst, src graph.VID, _ float32) bool {
+				if s[dst] == none && p[src] == int32(dst) && p[dst] == int32(src) {
+					s[dst] = int32(src)
+				}
+				return false
+			})
+		active = received
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+// Package gemini is a miniature Gemini-style engine (Zhu et al., OSDI'16):
+// a computation-centric design with flat pre-allocated property arrays,
+// chunked multi-threaded edge processing, and adaptive push (sparse) / pull
+// (dense) switching. Its model restrictions from the paper hold here:
+// communication strictly along edges, per-edge updates must be
+// associative+commutative, and vertex properties are fixed-size flat arrays
+// — which is why TC, GC and LPA (variable-length neighbor/label sets) are
+// not expressible and are absent from this package.
+package gemini
+
+import (
+	"sync"
+
+	"flash/graph"
+	"flash/internal/bitset"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Threads is the parallelism degree (default 4).
+	Threads int
+	// DenseThreshold is the Ligra-style density denominator (default 20).
+	DenseThreshold int
+}
+
+func (c *Config) fill() {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.DenseThreshold == 0 {
+		c.DenseThreshold = 20
+	}
+}
+
+// Engine wraps a graph with a frontier and lock stripes for push updates.
+type Engine struct {
+	g       *graph.Graph
+	cfg     Config
+	stripes [256]sync.Mutex
+}
+
+// New creates an engine over g.
+func New(g *graph.Graph, cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{g: g, cfg: cfg}
+}
+
+// Graph returns the topology.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Frontier is a bitset of active vertices.
+type Frontier struct {
+	bits  *bitset.Bitset
+	count int
+}
+
+// NewFrontier returns an empty frontier.
+func (e *Engine) NewFrontier() *Frontier {
+	return &Frontier{bits: bitset.New(e.g.NumVertices())}
+}
+
+// Full returns a frontier containing every vertex.
+func (e *Engine) Full() *Frontier {
+	f := e.NewFrontier()
+	f.bits.Fill()
+	f.count = e.g.NumVertices()
+	return f
+}
+
+// Add activates v.
+func (f *Frontier) Add(v graph.VID) {
+	if !f.bits.TestAndSet(int(v)) {
+		f.count++
+	}
+}
+
+// Has reports whether v is active.
+func (f *Frontier) Has(v graph.VID) bool { return f.bits.Test(int(v)) }
+
+// Count returns the number of active vertices.
+func (f *Frontier) Count() int { return f.count }
+
+// parfor runs f over [0,n) chunks on cfg.Threads goroutines; chunk bounds
+// are 64-aligned so bitset writes on disjoint chunks never share a word.
+func (e *Engine) parfor(n int, f func(lo, hi int)) {
+	t := e.cfg.Threads
+	if t == 1 || n < 256 {
+		f(0, n)
+		return
+	}
+	chunk := ((n+t-1)/t + 63) &^ 63
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ProcessEdges runs one round over the active edges. In push (sparse) mode,
+// pushF runs for every out-edge of an active source under a per-target lock
+// stripe and returns whether the target became active. In pull (dense) mode,
+// pullF runs for every in-edge of every vertex whose source is active,
+// without locking (one goroutine owns each target). Both callbacks must
+// perform the same update so the mode switch is transparent, exactly as
+// Gemini requires of its sparse/dense signal-slot pairs.
+func (e *Engine) ProcessEdges(u *Frontier,
+	pushF func(src, dst graph.VID, w float32) bool,
+	pullF func(dst, src graph.VID, w float32) bool,
+) *Frontier {
+	out := e.NewFrontier()
+	n := e.g.NumVertices()
+
+	degSum := 0
+	u.bits.Range(func(v int) bool {
+		degSum += e.g.OutDegree(graph.VID(v))
+		return true
+	})
+	dense := u.count+degSum > e.g.NumEdges()/e.cfg.DenseThreshold
+
+	if dense && pullF != nil {
+		e.parfor(n, func(lo, hi int) {
+			for d := lo; d < hi; d++ {
+				dst := graph.VID(d)
+				adj := e.g.InNeighbors(dst)
+				ws := e.g.InWeights(dst)
+				activated := false
+				for i, s := range adj {
+					if !u.bits.Test(int(s)) {
+						continue
+					}
+					var w float32
+					if ws != nil {
+						w = ws[i]
+					}
+					if pullF(dst, s, w) {
+						activated = true
+					}
+				}
+				if activated {
+					out.bits.Set(d)
+				}
+			}
+		})
+	} else {
+		e.parfor(n, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				if !u.bits.Test(s) {
+					continue
+				}
+				src := graph.VID(s)
+				adj := e.g.OutNeighbors(src)
+				ws := e.g.OutWeights(src)
+				for i, d := range adj {
+					var w float32
+					if ws != nil {
+						w = ws[i]
+					}
+					stripe := &e.stripes[(int(d)>>6)&255]
+					stripe.Lock()
+					if pushF(src, d, w) {
+						out.bits.Set(int(d))
+					}
+					stripe.Unlock()
+				}
+			}
+		})
+	}
+	out.count = out.bits.Count()
+	return out
+}
+
+// ProcessVertices applies f to every active vertex in parallel and returns
+// the activated subset.
+func (e *Engine) ProcessVertices(u *Frontier, f func(v graph.VID) bool) *Frontier {
+	out := e.NewFrontier()
+	e.parfor(e.g.NumVertices(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if u.bits.Test(v) && f(graph.VID(v)) {
+				out.bits.Set(v)
+			}
+		}
+	})
+	out.count = out.bits.Count()
+	return out
+}

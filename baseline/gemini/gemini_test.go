@@ -1,0 +1,157 @@
+package gemini
+
+import (
+	"math"
+	"testing"
+
+	"flash/graph"
+)
+
+var cfg = Config{Threads: 3}
+
+func TestBFS(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.GenPath(30), graph.GenErdosRenyi(90, 360, 1), graph.GenStar(15)} {
+		got := BFS(g, 0, cfg)
+		want := refBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d]=%d want %d", g.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func refBFS(g *graph.Graph, root graph.VID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestCC(t *testing.T) {
+	g := graph.GenErdosRenyi(80, 150, 2)
+	got := CC(g, cfg)
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if got[u] != got[v] {
+			t.Fatalf("edge (%d,%d) labels differ", u, v)
+		}
+		return true
+	})
+	for v, l := range got {
+		if l > uint32(v) {
+			t.Fatalf("label %d above member %d", l, v)
+		}
+	}
+}
+
+func TestBC(t *testing.T) {
+	g := graph.GenErdosRenyi(50, 180, 3)
+	got := BC(g, 0, cfg)
+	// Compare against the sequential Brandes in the pregel tests' style.
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[0] = 1
+	dist[0] = 0
+	var order []graph.VID
+	q := []graph.VID{0}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		order = append(order, u)
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		for _, v := range g.OutNeighbors(w) {
+			if dist[v] == dist[w]+1 {
+				delta[w] += sigma[w] / sigma[v] * (1 + delta[v])
+			}
+		}
+	}
+	for v := range delta {
+		if math.Abs(got[v]-delta[v]) > 1e-6 {
+			t.Fatalf("bc[%d]=%g want %g", v, got[v], delta[v])
+		}
+	}
+}
+
+func TestMIS(t *testing.T) {
+	g := graph.GenErdosRenyi(70, 250, 4)
+	in := MIS(g, cfg)
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if in[u] && in[v] {
+			t.Fatalf("adjacent %d,%d in MIS", u, v)
+		}
+		return true
+	})
+	for v := 0; v < g.NumVertices(); v++ {
+		if in[v] {
+			continue
+		}
+		ok := false
+		for _, u := range g.OutNeighbors(graph.VID(v)) {
+			if in[u] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("%d uncovered", v)
+		}
+	}
+}
+
+func TestMM(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.GenPath(9), graph.GenErdosRenyi(60, 200, 5)} {
+		match := MM(g, cfg)
+		for v := 0; v < g.NumVertices(); v++ {
+			if p := match[v]; p != -1 && (match[p] != int32(v) || !g.HasEdge(graph.VID(v), graph.VID(p))) {
+				t.Fatalf("%s: bad match %d<->%d", g.Name(), v, p)
+			}
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if match[u] == -1 && match[v] == -1 {
+				t.Fatalf("%s: not maximal at (%d,%d)", g.Name(), u, v)
+			}
+			return true
+		})
+	}
+}
+
+func TestFrontierOps(t *testing.T) {
+	e := New(graph.GenPath(10), cfg)
+	f := e.NewFrontier()
+	f.Add(3)
+	f.Add(3)
+	if f.Count() != 1 || !f.Has(3) || f.Has(2) {
+		t.Fatal("frontier ops wrong")
+	}
+	if e.Full().Count() != 10 {
+		t.Fatal("full frontier wrong")
+	}
+}

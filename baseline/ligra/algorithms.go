@@ -1,0 +1,274 @@
+package ligra
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"flash/graph"
+)
+
+// The seven Table V applications Ligra supports: BFS, CC, BC, MIS, MM, KC
+// and TC. GC needs variable-length color sets (unsupported in Ligra per the
+// paper's Table I) and the Table VI applications need distribution or
+// beyond-neighborhood edges.
+
+const none = int32(-1)
+
+// BFS computes hop distances from root.
+func BFS(g *graph.Graph, root graph.VID, cfg Config) []int32 {
+	e := New(g, cfg)
+	dis := make([]int32, g.NumVertices())
+	for i := range dis {
+		dis[i] = none
+	}
+	dis[root] = 0
+	u := e.FromIDs(root)
+	level := int32(0)
+	for u.Size() > 0 {
+		level++
+		lv := level
+		u = e.EdgeMap(u,
+			func(_, d graph.VID) bool {
+				if dis[d] == none {
+					dis[d] = lv
+					return true
+				}
+				return false
+			},
+			func(d graph.VID) bool { return dis[d] == none })
+	}
+	return dis
+}
+
+// CC computes connected components by min-label propagation, using the
+// atomic writeMin idiom Ligra programs use: a round may read a neighbor's
+// label concurrently with its owner's update.
+func CC(g *graph.Graph, cfg Config) []uint32 {
+	e := New(g, cfg)
+	label := make([]uint32, g.NumVertices())
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	u := e.All()
+	for u.Size() > 0 {
+		u = e.EdgeMap(u,
+			func(s, d graph.VID) bool {
+				l := atomic.LoadUint32(&label[s])
+				if l < atomic.LoadUint32(&label[d]) {
+					atomic.StoreUint32(&label[d], l)
+					return true
+				}
+				return false
+			}, nil)
+	}
+	return label
+}
+
+// BC computes Brandes dependency scores from root, recording every frontier.
+func BC(g *graph.Graph, root graph.VID, cfg Config) []float64 {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	level := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	for i := range level {
+		level[i] = none
+	}
+	level[root] = 0
+	sigma[root] = 1
+	u := e.FromIDs(root)
+	frontiers := []*Subset{u}
+	cur := int32(0)
+	for u.Size() > 0 {
+		cur++
+		lv := cur
+		u = e.EdgeMap(u,
+			func(s, d graph.VID) bool {
+				first := level[d] == none
+				if first || level[d] == lv {
+					level[d] = lv
+					sigma[d] += sigma[s]
+				}
+				return first
+			},
+			func(d graph.VID) bool { return level[d] == none || level[d] == lv })
+		if u.Size() > 0 {
+			frontiers = append(frontiers, u)
+		}
+	}
+	for i := len(frontiers) - 1; i >= 1; i-- {
+		lv := int32(i)
+		e.EdgeMap(frontiers[i],
+			func(s, d graph.VID) bool {
+				if level[d] == lv-1 {
+					delta[d] += sigma[d] / sigma[s] * (1 + delta[s])
+				}
+				return false
+			}, nil)
+	}
+	return delta
+}
+
+// MIS computes a maximal independent set with degree-based priorities.
+func MIS(g *graph.Graph, cfg Config) []bool {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	r := make([]uint64, n)
+	in := make([]bool, n)
+	out := make([]bool, n)
+	blocked := make([]bool, n)
+	for i := range r {
+		r[i] = uint64(g.OutDegree(graph.VID(i)))*uint64(n) + uint64(i)
+	}
+	active := e.All()
+	for active.Size() > 0 {
+		for i := range blocked {
+			blocked[i] = false
+		}
+		e.EdgeMap(active, func(s, d graph.VID) bool {
+			if !in[s] && !out[s] && !in[d] && !out[d] && r[s] < r[d] {
+				blocked[d] = true
+			}
+			return false
+		}, nil)
+		joined := e.VertexMap(active, func(v graph.VID) bool {
+			if !in[v] && !out[v] && !blocked[v] {
+				in[v] = true
+				return true
+			}
+			return false
+		})
+		e.EdgeMap(joined, func(s, d graph.VID) bool {
+			if in[s] && !in[d] {
+				out[d] = true
+			}
+			return false
+		}, nil)
+		active = e.VertexMap(active, func(v graph.VID) bool { return !in[v] && !out[v] })
+	}
+	return in
+}
+
+// MM computes a maximal matching by propose-and-marry rounds.
+func MM(g *graph.Graph, cfg Config) []int32 {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	s := make([]int32, n)
+	p := make([]int32, n)
+	for i := range s {
+		s[i] = none
+	}
+	active := e.All()
+	for active.Size() > 0 {
+		active = e.VertexMap(active, func(v graph.VID) bool {
+			if s[v] == none {
+				p[v] = none
+				return true
+			}
+			return false
+		})
+		received := e.EdgeMap(active,
+			func(src, d graph.VID) bool {
+				if s[d] == none && int32(src) > p[d] {
+					p[d] = int32(src)
+					return true
+				}
+				return false
+			},
+			func(d graph.VID) bool { return s[d] == none })
+		e.EdgeMap(received,
+			func(src, d graph.VID) bool {
+				if s[d] == none && p[src] == int32(d) && p[d] == int32(src) {
+					s[d] = int32(src)
+				}
+				return false
+			},
+			func(d graph.VID) bool { return s[d] == none })
+		active = received
+	}
+	return s
+}
+
+// KC computes the k-core decomposition by peeling, Ligra's algorithm from
+// the paper.
+func KC(g *graph.Graph, cfg Config) []int32 {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	core := make([]int32, n)
+	for i := range deg {
+		deg[i] = int32(g.OutDegree(graph.VID(i)))
+	}
+	u := e.All()
+	_, maxDeg := g.MaxOutDegree()
+	for k := int32(1); k <= int32(maxDeg)+1 && u.Size() > 0; k++ {
+		for {
+			removed := e.VertexMap(u, func(v graph.VID) bool {
+				if deg[v] < k {
+					core[v] = k - 1
+					return true
+				}
+				return false
+			})
+			if removed.Size() == 0 {
+				break
+			}
+			u = e.Minus(u, removed)
+			e.EdgeMapSparse(removed, func(_, d graph.VID) bool {
+				deg[d]--
+				return false
+			}, nil)
+		}
+	}
+	return core
+}
+
+// TC counts triangles with ranked sorted adjacency intersections.
+func TC(g *graph.Graph, cfg Config) int64 {
+	e := New(g, cfg)
+	n := g.NumVertices()
+	outs := make([][]uint32, n)
+	rank := func(a, b graph.VID) bool {
+		da, db := g.OutDegree(a), g.OutDegree(b)
+		return da > db || (da == db && a > b)
+	}
+	e.VertexMap(e.All(), func(v graph.VID) bool {
+		for _, d := range g.OutNeighbors(v) {
+			if rank(d, v) {
+				outs[v] = append(outs[v], uint32(d))
+			}
+		}
+		sort.Slice(outs[v], func(i, j int) bool { return outs[v][i] < outs[v][j] })
+		return false
+	})
+	counts := make([]int64, n)
+	e.EdgeMapSparse(e.All(), func(s, d graph.VID) bool {
+		if s < d {
+			counts[d] += sortedIntersect(outs[s], outs[d])
+		}
+		return false
+	}, nil)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+func sortedIntersect(a, b []uint32) int64 {
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

@@ -1,0 +1,197 @@
+// Package ligra is a miniature Ligra engine (Shun & Blelloch, PPoPP'13):
+// shared-memory vertexSubsets with EdgeMap/VertexMap and the dense/sparse
+// dual traversal. It is the model FLASH extends; the differences exercised
+// by the benchmarks are that Ligra has no distribution (single worker, no
+// serialization or mirror synchronization — which is why it wins when
+// communication dominates) and no beyond-neighborhood edge sets.
+//
+// Update functions run under per-target lock stripes, standing in for the
+// compare-and-swap idiom Ligra programs use.
+package ligra
+
+import (
+	"sync"
+
+	"flash/graph"
+	"flash/internal/bitset"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Threads is the parallelism degree (default 4).
+	Threads int
+	// DenseThreshold is the density denominator (default 20, Ligra's |E|/20).
+	DenseThreshold int
+}
+
+func (c *Config) fill() {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.DenseThreshold == 0 {
+		c.DenseThreshold = 20
+	}
+}
+
+// Engine wraps a graph.
+type Engine struct {
+	g       *graph.Graph
+	cfg     Config
+	stripes [256]sync.Mutex
+}
+
+// New creates an engine over g.
+func New(g *graph.Graph, cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{g: g, cfg: cfg}
+}
+
+// Graph returns the topology.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Subset is Ligra's vertexSubset.
+type Subset struct {
+	bits  *bitset.Bitset
+	count int
+}
+
+// NewSubset returns an empty subset.
+func (e *Engine) NewSubset() *Subset { return &Subset{bits: bitset.New(e.g.NumVertices())} }
+
+// All returns the subset of every vertex.
+func (e *Engine) All() *Subset {
+	s := e.NewSubset()
+	s.bits.Fill()
+	s.count = e.g.NumVertices()
+	return s
+}
+
+// FromIDs builds a subset from ids.
+func (e *Engine) FromIDs(ids ...graph.VID) *Subset {
+	s := e.NewSubset()
+	for _, v := range ids {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add inserts v.
+func (s *Subset) Add(v graph.VID) {
+	if !s.bits.TestAndSet(int(v)) {
+		s.count++
+	}
+}
+
+// Has reports membership.
+func (s *Subset) Has(v graph.VID) bool { return s.bits.Test(int(v)) }
+
+// Size returns |U|.
+func (s *Subset) Size() int { return s.count }
+
+// Minus removes members of o, returning a new subset.
+func (e *Engine) Minus(a, b *Subset) *Subset {
+	out := e.NewSubset()
+	out.bits.CopyFrom(a.bits)
+	out.bits.Minus(b.bits)
+	out.count = out.bits.Count()
+	return out
+}
+
+func (e *Engine) parfor(n int, f func(lo, hi int)) {
+	t := e.cfg.Threads
+	if t == 1 || n < 256 {
+		f(0, n)
+		return
+	}
+	chunk := ((n+t-1)/t + 63) &^ 63
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// EdgeMap applies update to edges (s, d) with s ∈ u and cond(d), returning
+// the subset of targets for which update returned true. Mode is chosen by
+// Ligra's density rule; update runs under a per-target stripe in sparse
+// mode and target-exclusively in dense mode.
+func (e *Engine) EdgeMap(u *Subset, update func(s, d graph.VID) bool, cond func(d graph.VID) bool) *Subset {
+	degSum := 0
+	u.bits.Range(func(v int) bool {
+		degSum += e.g.OutDegree(graph.VID(v))
+		return true
+	})
+	if u.count+degSum > e.g.NumEdges()/e.cfg.DenseThreshold {
+		return e.EdgeMapDense(u, update, cond)
+	}
+	return e.EdgeMapSparse(u, update, cond)
+}
+
+// EdgeMapDense is the pull kernel: scan every vertex's in-edges until cond
+// fails.
+func (e *Engine) EdgeMapDense(u *Subset, update func(s, d graph.VID) bool, cond func(d graph.VID) bool) *Subset {
+	out := e.NewSubset()
+	e.parfor(e.g.NumVertices(), func(lo, hi int) {
+		for d := lo; d < hi; d++ {
+			dst := graph.VID(d)
+			for _, s := range e.g.InNeighbors(dst) {
+				if cond != nil && !cond(dst) {
+					break
+				}
+				if u.bits.Test(int(s)) && update(s, dst) {
+					out.bits.Set(d)
+				}
+			}
+		}
+	})
+	out.count = out.bits.Count()
+	return out
+}
+
+// EdgeMapSparse is the push kernel: scan active vertices' out-edges.
+func (e *Engine) EdgeMapSparse(u *Subset, update func(s, d graph.VID) bool, cond func(d graph.VID) bool) *Subset {
+	out := e.NewSubset()
+	e.parfor(e.g.NumVertices(), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if !u.bits.Test(s) {
+				continue
+			}
+			src := graph.VID(s)
+			for _, d := range e.g.OutNeighbors(src) {
+				// cond reads the target's state, so it must run under the
+				// same stripe that serializes updates to that target.
+				stripe := &e.stripes[(int(d)>>6)&255]
+				stripe.Lock()
+				if (cond == nil || cond(d)) && update(src, d) {
+					out.bits.Set(int(d))
+				}
+				stripe.Unlock()
+			}
+		}
+	})
+	out.count = out.bits.Count()
+	return out
+}
+
+// VertexMap applies f to every member and returns those for which f was
+// true.
+func (e *Engine) VertexMap(u *Subset, f func(v graph.VID) bool) *Subset {
+	out := e.NewSubset()
+	e.parfor(e.g.NumVertices(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if u.bits.Test(v) && f(graph.VID(v)) {
+				out.bits.Set(v)
+			}
+		}
+	})
+	out.count = out.bits.Count()
+	return out
+}

@@ -1,0 +1,204 @@
+package ligra
+
+import (
+	"math"
+	"testing"
+
+	"flash/graph"
+)
+
+var cfg = Config{Threads: 3}
+
+func refBFS(g *graph.Graph, root graph.VID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFS(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.GenPath(25), graph.GenErdosRenyi(90, 360, 1), graph.GenGrid(6, 6, 0, 1)} {
+		got := BFS(g, 0, cfg)
+		want := refBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d]=%d want %d", g.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCC(t *testing.T) {
+	g := graph.GenErdosRenyi(80, 140, 2)
+	got := CC(g, cfg)
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if got[u] != got[v] {
+			t.Fatalf("edge (%d,%d) labels differ", u, v)
+		}
+		return true
+	})
+}
+
+func TestBC(t *testing.T) {
+	g := graph.GenErdosRenyi(50, 200, 3)
+	got := BC(g, 0, cfg)
+	want := seqBrandes(g, 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("bc[%d]=%g want %g", v, got[v], want[v])
+		}
+	}
+}
+
+func seqBrandes(g *graph.Graph, root graph.VID) []float64 {
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[root] = 1
+	dist[root] = 0
+	var order []graph.VID
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		order = append(order, u)
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		for _, v := range g.OutNeighbors(w) {
+			if dist[v] == dist[w]+1 {
+				delta[w] += sigma[w] / sigma[v] * (1 + delta[v])
+			}
+		}
+	}
+	return delta
+}
+
+func TestMISAndMM(t *testing.T) {
+	g := graph.GenErdosRenyi(70, 240, 4)
+	in := MIS(g, cfg)
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if in[u] && in[v] {
+			t.Fatalf("adjacent in MIS")
+		}
+		return true
+	})
+	for v := 0; v < g.NumVertices(); v++ {
+		if in[v] {
+			continue
+		}
+		ok := false
+		for _, u := range g.OutNeighbors(graph.VID(v)) {
+			if in[u] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("%d uncovered", v)
+		}
+	}
+
+	match := MM(g, cfg)
+	for v := 0; v < g.NumVertices(); v++ {
+		if p := match[v]; p != -1 && (match[p] != int32(v) || !g.HasEdge(graph.VID(v), graph.VID(p))) {
+			t.Fatalf("bad match %d<->%d", v, p)
+		}
+	}
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if match[u] == -1 && match[v] == -1 {
+			t.Fatal("not maximal")
+		}
+		return true
+	})
+}
+
+func TestKC(t *testing.T) {
+	g := graph.GenErdosRenyi(50, 170, 5)
+	got := KC(g, cfg)
+	// reference peeling
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.VID(v))
+	}
+	want := make([]int32, n)
+	removed := make([]bool, n)
+	maxSeen := 0
+	for i := 0; i < n; i++ {
+		bv, bd := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bd {
+				bv, bd = v, deg[v]
+			}
+		}
+		if bd > maxSeen {
+			maxSeen = bd
+		}
+		want[bv] = int32(maxSeen)
+		removed[bv] = true
+		for _, u := range g.OutNeighbors(graph.VID(bv)) {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("core[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestTC(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{graph.GenComplete(5), 10},
+		{graph.GenComplete(6), 20},
+		{graph.GenCycle(3), 1},
+		{graph.GenStar(9), 0},
+	} {
+		if got := TC(tc.g, cfg); got != tc.want {
+			t.Fatalf("%s: %d triangles want %d", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestSubsetOps(t *testing.T) {
+	e := New(graph.GenPath(10), cfg)
+	a := e.FromIDs(1, 2, 3)
+	b := e.FromIDs(3, 4)
+	if m := e.Minus(a, b); m.Size() != 2 || m.Has(3) {
+		t.Fatal("minus wrong")
+	}
+	if e.All().Size() != 10 {
+		t.Fatal("all wrong")
+	}
+}

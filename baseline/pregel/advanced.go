@@ -1,0 +1,364 @@
+package pregel
+
+import (
+	"sort"
+
+	"flash/graph"
+)
+
+// The advanced applications below are the ones the paper's Table VI takes
+// Pregel+ as the baseline for: SCC, BCC and MSF. Each is a chain of
+// sub-programs (the paper's "practical Pregel algorithms" composition) with
+// driver-side glue, which is exactly the overhead FLASH removes.
+
+// SCC labels strongly connected components with forward-backward coloring;
+// the backward traversal messages in-neighbors (transpose edges).
+func SCC(g *graph.Graph, cfg Config) ([]int32, error) {
+	n := g.NumVertices()
+	scc := make([]int32, n)
+	fid := make([]int32, n)
+	for i := range scc {
+		scc[i] = none
+	}
+	for {
+		// Sub-program 1: forward min-id coloring over unassigned vertices.
+		type cv struct{ FID int32 }
+		color := Program[cv, int32]{
+			Init: func(id graph.VID, _ int) cv { return cv{FID: int32(id)} },
+			Compute: func(ctx *Context[cv, int32], val *cv, msgs []int32) {
+				if scc[ctx.Self()] != none {
+					ctx.VoteToHalt()
+					return
+				}
+				changed := ctx.Superstep() == 0
+				for _, m := range msgs {
+					if m < val.FID {
+						val.FID = m
+						changed = true
+					}
+				}
+				if changed {
+					for _, d := range ctx.OutNeighbors() {
+						if scc[d] == none {
+							ctx.Send(d, val.FID)
+						}
+					}
+				}
+				ctx.VoteToHalt()
+			},
+			Combine: func(a, b int32) int32 {
+				if a < b {
+					return a
+				}
+				return b
+			},
+		}
+		cres, err := Run(g, color, cfg)
+		if err != nil {
+			return nil, err
+		}
+		anyLeft := false
+		for i, x := range cres.Values {
+			if scc[i] == none {
+				fid[i] = x.FID
+				anyLeft = true
+			}
+		}
+		if !anyLeft {
+			break
+		}
+		// Sub-program 2: roots claim their color backwards (via transpose).
+		type bv struct{ SCC int32 }
+		back := Program[bv, int32]{
+			Init: func(id graph.VID, _ int) bv { return bv{SCC: scc[id]} },
+			Compute: func(ctx *Context[bv, int32], val *bv, msgs []int32) {
+				self := ctx.Self()
+				if scc[self] != none {
+					ctx.VoteToHalt()
+					return
+				}
+				claim := false
+				if ctx.Superstep() == 0 && fid[self] == int32(self) {
+					val.SCC = int32(self)
+					claim = true
+				}
+				for _, m := range msgs {
+					if val.SCC == none && m == fid[self] {
+						val.SCC = fid[self]
+						claim = true
+					}
+				}
+				if claim {
+					for _, s := range ctx.InNeighbors() {
+						if scc[s] == none {
+							ctx.Send(s, val.SCC)
+						}
+					}
+				}
+				ctx.VoteToHalt()
+			},
+		}
+		bres, err := Run(g, back, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, x := range bres.Values {
+			if scc[i] == none && x.SCC != none {
+				scc[i] = x.SCC
+			}
+		}
+	}
+	return scc, nil
+}
+
+// BCCResult mirrors the FLASH algo package's labelling: each non-root
+// vertex is labelled with the biconnected component of its BFS tree edge.
+type BCCResult struct {
+	Labels  []int32
+	Parents []int32
+}
+
+// BCC chains CC, a multi-source BFS, and a parent-assignment sub-program,
+// then merges fundamental cycles with a driver-side union-find.
+func BCC(g *graph.Graph, cfg Config) (BCCResult, error) {
+	n := g.NumVertices()
+	// Sub-program 1: component roots (min id labels).
+	labels, err := CC(g, cfg)
+	if err != nil {
+		return BCCResult{}, err
+	}
+	// Sub-program 2: multi-source BFS levels from roots.
+	type lv struct{ Dis int32 }
+	bfs := Program[lv, int32]{
+		Init: func(id graph.VID, _ int) lv { return lv{Dis: none} },
+		Compute: func(ctx *Context[lv, int32], val *lv, msgs []int32) {
+			if ctx.Superstep() == 0 {
+				if labels[ctx.Self()] == uint32(ctx.Self()) {
+					val.Dis = 0
+					ctx.SendToNeighbors(1)
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			if val.Dis == none && len(msgs) > 0 {
+				val.Dis = msgs[0]
+				ctx.SendToNeighbors(val.Dis + 1)
+			}
+			ctx.VoteToHalt()
+		},
+		Combine: func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+	bres, err := Run(g, bfs, cfg)
+	if err != nil {
+		return BCCResult{}, err
+	}
+	dis := make([]int32, n)
+	for i, x := range bres.Values {
+		dis[i] = x.Dis
+	}
+	// Sub-program 3: parent assignment (any neighbor one level up).
+	type pv struct{ P int32 }
+	par := Program[pv, int32]{
+		Init: func(id graph.VID, _ int) pv { return pv{P: none} },
+		Compute: func(ctx *Context[pv, int32], val *pv, msgs []int32) {
+			self := ctx.Self()
+			switch ctx.Superstep() {
+			case 0:
+				for _, d := range ctx.OutNeighbors() {
+					if dis[d] == dis[self]+1 {
+						ctx.Send(d, int32(self))
+					}
+				}
+			case 1:
+				if val.P == none && len(msgs) > 0 {
+					val.P = msgs[0]
+				}
+			}
+			ctx.VoteToHalt()
+		},
+	}
+	pres, err := Run(g, par, cfg)
+	if err != nil {
+		return BCCResult{}, err
+	}
+	parent := make([]int32, n)
+	for i, x := range pres.Values {
+		parent[i] = x.P
+	}
+	// Driver: merge fundamental cycles (same walk as the FLASH version).
+	dsuParent := make([]int32, n)
+	for i := range dsuParent {
+		dsuParent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for dsuParent[x] != x {
+			dsuParent[x] = dsuParent[dsuParent[x]]
+			x = dsuParent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			dsuParent[ra] = rb
+		}
+	}
+	g.Edges(func(a, b graph.VID, _ float32) bool {
+		if a >= b || parent[a] == int32(b) || parent[b] == int32(a) {
+			return true
+		}
+		anchor := int32(a)
+		if dis[b] > dis[a] {
+			anchor = int32(b)
+		}
+		x, y := int32(a), int32(b)
+		for x != y {
+			if dis[x] >= dis[y] {
+				union(anchor, x)
+				x = parent[x]
+			} else {
+				union(anchor, y)
+				y = parent[y]
+			}
+		}
+		return true
+	})
+	res := BCCResult{Labels: make([]int32, n), Parents: parent}
+	for v := 0; v < n; v++ {
+		if parent[v] == none {
+			res.Labels[v] = -1
+		} else {
+			res.Labels[v] = find(int32(v))
+		}
+	}
+	return res, nil
+}
+
+// MSFEdge is one selected forest edge.
+type MSFEdge struct {
+	U, V graph.VID
+	W    float32
+}
+
+// MSF runs Borůvka rounds: every round a vertex program finds, per vertex,
+// the minimum-weight edge leaving its current component (component labels
+// live in a driver-side aggregator array, as Pregel+ uses aggregators), and
+// the driver contracts the chosen edges. O(log n) full message rounds over
+// all edges — the overhead Kruskal-in-FLASH avoids.
+func MSF(g *graph.Graph, cfg Config) ([]MSFEdge, float64, error) {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	var forest []MSFEdge
+	var total float64
+	for round := 0; round < 64; round++ {
+		// Snapshot the component roots so the vertex program only reads.
+		rootOf := make([]int32, n)
+		for v := range rootOf {
+			rootOf[v] = find(int32(v))
+		}
+		// Vertex program: local min cross-component edge per vertex.
+		type mv struct{ Best cand }
+		prog := Program[mv, int32]{
+			Init: func(id graph.VID, _ int) mv { return mv{} },
+			Compute: func(ctx *Context[mv, int32], val *mv, _ []int32) {
+				self := ctx.Self()
+				adj := ctx.OutNeighbors()
+				ws := g.OutWeights(self)
+				for i, d := range adj {
+					if rootOf[self] == rootOf[d] {
+						continue
+					}
+					var w float32 = 1
+					if ws != nil {
+						w = ws[i]
+					}
+					// Canonical orientation (min, max) gives every undirected
+					// edge one key, so tie-breaking is consistent across
+					// components and Borůvka cannot cycle.
+					c := cand{U: self, V: d, W: w, Ok: true}
+					if c.V < c.U {
+						c.U, c.V = c.V, c.U
+					}
+					if !val.Best.Ok || c.less(val.Best) {
+						val.Best = c
+					}
+				}
+				ctx.VoteToHalt()
+			},
+		}
+		res, err := Run(g, prog, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Driver: per component, keep the global minimum candidate and
+		// contract (ties broken deterministically by (W,U,V)).
+		best := make(map[int32]cand)
+		for vid, x := range res.Values {
+			if !x.Best.Ok {
+				continue
+			}
+			c := rootOf[vid]
+			b, ok := best[c]
+			if !ok || x.Best.less(b) {
+				best[c] = x.Best
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		progress := false
+		keys := make([]int32, 0, len(best))
+		for c := range best {
+			keys = append(keys, c)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, c := range keys {
+			e := best[c]
+			ra, rb := find(int32(e.U)), find(int32(e.V))
+			if ra != rb {
+				comp[ra] = rb
+				forest = append(forest, MSFEdge{U: e.U, V: e.V, W: e.W})
+				total += float64(e.W)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return forest, total, nil
+}
+
+// cand is a candidate Borůvka edge.
+type cand struct {
+	U, V graph.VID
+	W    float32
+	Ok   bool
+}
+
+func (a cand) less(b cand) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}

@@ -1,0 +1,564 @@
+package pregel
+
+import (
+	"sort"
+
+	"flash/graph"
+)
+
+// The algorithm implementations below follow the standard Pregel-style
+// formulations (as in Pregel+): single-phased value propagation where
+// possible, explicit phase fields and chained programs where the model
+// forces decomposition (BC, SCC, BCC).
+
+const none = int32(-1)
+
+// BFS computes hop distances from root (-1 when unreachable).
+func BFS(g *graph.Graph, root graph.VID, cfg Config) ([]int32, error) {
+	type v struct{ Dis int32 }
+	prog := Program[v, int32]{
+		Init: func(id graph.VID, _ int) v { return v{Dis: none} },
+		Compute: func(ctx *Context[v, int32], val *v, msgs []int32) {
+			if ctx.Superstep() == 0 {
+				if ctx.Self() == root {
+					val.Dis = 0
+					ctx.SendToNeighbors(1)
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			if val.Dis == none && len(msgs) > 0 {
+				val.Dis = msgs[0]
+				ctx.SendToNeighbors(val.Dis + 1)
+			}
+			ctx.VoteToHalt()
+		},
+		Combine: func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.Dis
+	}
+	return out, nil
+}
+
+// CC computes connected components by min-label propagation.
+func CC(g *graph.Graph, cfg Config) ([]uint32, error) {
+	type v struct{ CC uint32 }
+	prog := Program[v, uint32]{
+		Init: func(id graph.VID, _ int) v { return v{CC: uint32(id)} },
+		Compute: func(ctx *Context[v, uint32], val *v, msgs []uint32) {
+			changed := ctx.Superstep() == 0
+			for _, m := range msgs {
+				if m < val.CC {
+					val.CC = m
+					changed = true
+				}
+			}
+			if changed {
+				ctx.SendToNeighbors(val.CC)
+			}
+			ctx.VoteToHalt()
+		},
+		Combine: func(a, b uint32) uint32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.CC
+	}
+	return out, nil
+}
+
+// SSSP computes weighted shortest paths from root.
+func SSSP(g *graph.Graph, root graph.VID, cfg Config) ([]float32, error) {
+	type v struct{ Dis float32 }
+	const winf = float32(1e30)
+	prog := Program[v, float32]{
+		Init: func(id graph.VID, _ int) v { return v{Dis: winf} },
+		Compute: func(ctx *Context[v, float32], val *v, msgs []float32) {
+			best := val.Dis
+			if ctx.Superstep() == 0 && ctx.Self() == root {
+				best = 0
+			}
+			for _, m := range msgs {
+				if m < best {
+					best = m
+				}
+			}
+			if best < val.Dis || (ctx.Superstep() == 0 && ctx.Self() == root) {
+				val.Dis = best
+				ctx.SendToNeighborsW(func(_ graph.VID, w float32) float32 { return best + w })
+			}
+			ctx.VoteToHalt()
+		},
+		Combine: func(a, b float32) float32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.Dis
+	}
+	return out, nil
+}
+
+// BC computes Brandes dependency scores from root. The Pregel model has no
+// global frontier stack, so the program stores per-vertex levels in a first
+// chained sub-program, then runs one backward sub-program per BFS level —
+// the decomposition overhead the paper attributes to Pregel+.
+func BC(g *graph.Graph, root graph.VID, cfg Config) ([]float64, error) {
+	type fv struct {
+		Level int32
+		Sigma float64
+	}
+	fwd := Program[fv, float64]{
+		Init: func(id graph.VID, _ int) fv { return fv{Level: none} },
+		Compute: func(ctx *Context[fv, float64], val *fv, msgs []float64) {
+			if ctx.Superstep() == 0 {
+				if ctx.Self() == root {
+					val.Level = 0
+					val.Sigma = 1
+					ctx.SendToNeighbors(1)
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			if val.Level == none && len(msgs) > 0 {
+				val.Level = int32(ctx.Superstep())
+				for _, m := range msgs {
+					val.Sigma += m
+				}
+				ctx.SendToNeighbors(val.Sigma)
+			}
+			ctx.VoteToHalt()
+		},
+	}
+	fres, err := Run(g, fwd, cfg)
+	if err != nil {
+		return nil, err
+	}
+	levels := make([]int32, len(fres.Values))
+	sigma := make([]float64, len(fres.Values))
+	maxLevel := int32(0)
+	for i, x := range fres.Values {
+		levels[i] = x.Level
+		sigma[i] = x.Sigma
+		if x.Level > maxLevel {
+			maxLevel = x.Level
+		}
+	}
+
+	// One backward sub-program per level: vertices at `lev` send their
+	// accumulated dependency down to level-1 parents.
+	delta := make([]float64, len(levels))
+	for lev := maxLevel; lev >= 1; lev-- {
+		type bv struct{ Delta float64 }
+		lev := lev
+		back := Program[bv, float64]{
+			Init: func(id graph.VID, _ int) bv { return bv{Delta: delta[id]} },
+			Compute: func(ctx *Context[bv, float64], val *bv, msgs []float64) {
+				switch ctx.Superstep() {
+				case 0:
+					if levels[ctx.Self()] == lev {
+						contrib := (1 + val.Delta) / sigma[ctx.Self()]
+						for _, d := range ctx.OutNeighbors() {
+							if levels[d] == lev-1 {
+								ctx.Send(d, contrib)
+							}
+						}
+					}
+					ctx.VoteToHalt()
+				default:
+					for _, m := range msgs {
+						val.Delta += m * sigma[ctx.Self()]
+					}
+					ctx.VoteToHalt()
+				}
+			},
+		}
+		bres, err := Run(g, back, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, x := range bres.Values {
+			delta[i] = x.Delta
+		}
+	}
+	return delta, nil
+}
+
+// MIS computes a maximal independent set with Luby's algorithm using the
+// same degree-based priorities as the FLASH version.
+func MIS(g *graph.Graph, cfg Config) ([]bool, error) {
+	type v struct {
+		R      uint64
+		In     bool // selected into the MIS
+		Out    bool // dominated
+		MinNbr uint64
+	}
+	type msg struct {
+		R    uint64
+		Kind uint8 // 0: priority advertisement, 1: "I'm in, you're out"
+	}
+	n := uint64(g.NumVertices())
+	prog := Program[v, msg]{
+		Init: func(id graph.VID, deg int) v {
+			return v{R: uint64(deg)*n + uint64(id), MinNbr: ^uint64(0)}
+		},
+		Compute: func(ctx *Context[v, msg], val *v, msgs []msg) {
+			if val.In || val.Out {
+				ctx.VoteToHalt()
+				return
+			}
+			phase := ctx.Superstep() % 2
+			if phase == 0 {
+				// Receive knockouts from the previous round first.
+				for _, m := range msgs {
+					if m.Kind == 1 {
+						val.Out = true
+						ctx.VoteToHalt()
+						return
+					}
+				}
+				ctx.SendToNeighbors(msg{R: val.R})
+				return // stay active for the decision phase
+			}
+			val.MinNbr = ^uint64(0)
+			for _, m := range msgs {
+				if m.Kind == 0 && m.R < val.MinNbr {
+					val.MinNbr = m.R
+				}
+			}
+			if val.R < val.MinNbr {
+				val.In = true
+				ctx.SendToNeighbors(msg{Kind: 1})
+				ctx.VoteToHalt()
+			}
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.In
+	}
+	return out, nil
+}
+
+// MM computes a maximal matching by propose-and-marry rounds.
+func MM(g *graph.Graph, cfg Config) ([]int32, error) {
+	type v struct {
+		S int32 // partner
+		P int32 // best proposal received
+	}
+	type msg struct {
+		From int32
+		Kind uint8 // 0: proposal, 1: acceptance
+	}
+	prog := Program[v, msg]{
+		Init: func(id graph.VID, _ int) v { return v{S: none, P: none} },
+		Compute: func(ctx *Context[v, msg], val *v, msgs []msg) {
+			if val.S != none {
+				ctx.VoteToHalt()
+				return
+			}
+			switch ctx.Superstep() % 3 {
+			case 0: // propose to all neighbors
+				val.P = none
+				ctx.SendToNeighbors(msg{From: int32(ctx.Self()), Kind: 0})
+			case 1: // pick best proposal and answer it
+				for _, m := range msgs {
+					if m.Kind == 0 && m.From > val.P {
+						val.P = m.From
+					}
+				}
+				if val.P != none {
+					ctx.Send(graph.VID(val.P), msg{From: int32(ctx.Self()), Kind: 1})
+				}
+			case 2: // mutual acceptance marries
+				for _, m := range msgs {
+					if m.Kind == 1 && m.From == val.P {
+						val.S = m.From
+						break
+					}
+				}
+				if val.S != none || val.P == none {
+					// Married, or nobody proposed (all neighbors matched):
+					// sleep until a future proposal wakes us.
+					ctx.VoteToHalt()
+				}
+			}
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.S
+	}
+	return out, nil
+}
+
+// KC computes the k-core decomposition the way Pregel+ does: one vertex
+// program per peel sweep, replayed until a sweep removes nothing.
+func KC(g *graph.Graph, cfg Config) ([]int32, error) {
+	return kcIterative(g, cfg)
+}
+
+// kcIterative runs one Pregel program per peel round, the way Pregel+
+// implements KC: each round removes every vertex with induced degree < k
+// and replays until a full sweep removes nothing.
+func kcIterative(g *graph.Graph, cfg Config) ([]int32, error) {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	removed := make([]bool, n)
+	core := make([]int32, n)
+	for i := 0; i < n; i++ {
+		deg[i] = int32(g.OutDegree(graph.VID(i)))
+	}
+	_, maxDeg := g.MaxOutDegree()
+	for k := int32(1); k <= int32(maxDeg)+1; k++ {
+		for {
+			type v struct{ Gone bool }
+			prog := Program[v, int32]{
+				Init: func(id graph.VID, _ int) v { return v{} },
+				Compute: func(ctx *Context[v, int32], val *v, msgs []int32) {
+					id := ctx.Self()
+					for _, m := range msgs {
+						deg[id] -= m // safe: one worker owns each vertex
+					}
+					if ctx.Superstep() == 0 && !removed[id] && deg[id] < k {
+						val.Gone = true
+						removed[id] = true
+						core[id] = k - 1
+						ctx.SendToNeighbors(1)
+					}
+					ctx.VoteToHalt()
+				},
+			}
+			res, err := Run(g, prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			any := false
+			for _, x := range res.Values {
+				if x.Gone {
+					any = true
+					break
+				}
+			}
+			if !any {
+				break
+			}
+		}
+		allGone := true
+		for i := 0; i < n; i++ {
+			if !removed[i] {
+				allGone = false
+				break
+			}
+		}
+		if allGone {
+			break
+		}
+	}
+	return core, nil
+}
+
+// TC counts triangles by exchanging full neighbor lists, the heavyweight
+// pattern the paper notes PowerGraph/Pregel must use.
+func TC(g *graph.Graph, cfg Config) (int64, error) {
+	type v struct {
+		Count int64
+		Out   []uint32
+	}
+	type msg struct {
+		From uint32
+		List []uint32
+	}
+	rank := func(a, b graph.VID) bool { // a outranks b
+		da, db := g.OutDegree(a), g.OutDegree(b)
+		return da > db || (da == db && a > b)
+	}
+	prog := Program[v, msg]{
+		Init: func(id graph.VID, _ int) v { return v{} },
+		Compute: func(ctx *Context[v, msg], val *v, msgs []msg) {
+			switch ctx.Superstep() {
+			case 0: // build ranked out-lists locally
+				for _, d := range ctx.OutNeighbors() {
+					if rank(d, ctx.Self()) {
+						val.Out = append(val.Out, uint32(d))
+					}
+				}
+				sort.Slice(val.Out, func(i, j int) bool { return val.Out[i] < val.Out[j] })
+			case 1: // ship the list to every larger-id neighbor
+				for _, d := range ctx.OutNeighbors() {
+					if ctx.Self() < d {
+						ctx.Send(d, msg{From: uint32(ctx.Self()), List: val.Out})
+					}
+				}
+			case 2: // intersect received lists with own
+				for _, m := range msgs {
+					val.Count += sortedIntersect(m.List, val.Out)
+				}
+			}
+			if ctx.Superstep() >= 2 {
+				ctx.VoteToHalt()
+			}
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, x := range res.Values {
+		total += x.Count
+	}
+	return total, nil
+}
+
+func sortedIntersect(a, b []uint32) int64 {
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// GC computes a greedy coloring: higher-ranked vertices announce their
+// colors to lower-ranked neighbors, every vertex remembers the last color
+// announced by each higher neighbor, and repeatedly moves to the smallest
+// color not in that memory until the whole graph is stable.
+func GC(g *graph.Graph, cfg Config) ([]int32, error) {
+	type v struct {
+		C     int32
+		Dirty bool
+		Known map[uint32]int32 // higher neighbor -> its last announced color
+	}
+	type msg struct {
+		From  uint32
+		Color int32
+	}
+	rank := func(a, b graph.VID) bool {
+		da, db := g.OutDegree(a), g.OutDegree(b)
+		return da > db || (da == db && a > b)
+	}
+	prog := Program[v, msg]{
+		Init: func(id graph.VID, _ int) v { return v{Dirty: true, Known: map[uint32]int32{}} },
+		Compute: func(ctx *Context[v, msg], val *v, msgs []msg) {
+			if ctx.Superstep()%2 == 0 {
+				// Announce phase: changed vertices tell lower-ranked
+				// neighbors their color.
+				if val.Dirty {
+					val.Dirty = false
+					for _, d := range ctx.OutNeighbors() {
+						if rank(ctx.Self(), d) {
+							ctx.Send(d, msg{From: uint32(ctx.Self()), Color: val.C})
+						}
+					}
+				}
+				return // stay active for the decision phase
+			}
+			for _, m := range msgs {
+				val.Known[m.From] = m.Color
+			}
+			used := make(map[int32]bool, len(val.Known))
+			for _, c := range val.Known {
+				used[c] = true
+			}
+			c := int32(0)
+			for used[c] {
+				c++
+			}
+			if c != val.C {
+				val.C = c
+				val.Dirty = true
+			} else {
+				ctx.VoteToHalt()
+			}
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.C
+	}
+	return out, nil
+}
+
+// LPA runs synchronous label propagation for maxIters rounds.
+func LPA(g *graph.Graph, maxIters int, cfg Config) ([]int32, error) {
+	type v struct{ C int32 }
+	prog := Program[v, int32]{
+		Init: func(id graph.VID, _ int) v { return v{C: int32(id)} },
+		Compute: func(ctx *Context[v, int32], val *v, msgs []int32) {
+			if ctx.Superstep() > 0 && len(msgs) > 0 {
+				count := make(map[int32]int, len(msgs))
+				best, bestN := val.C, 0
+				for _, m := range msgs {
+					count[m]++
+					if count[m] > bestN || (count[m] == bestN && m < best) {
+						best, bestN = m, count[m]
+					}
+				}
+				val.C = best
+			}
+			if ctx.Superstep() < maxIters {
+				ctx.SendToNeighbors(val.C)
+			}
+			ctx.VoteToHalt()
+		},
+	}
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(res.Values))
+	for i, x := range res.Values {
+		out[i] = x.C
+	}
+	return out, nil
+}

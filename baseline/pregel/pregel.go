@@ -1,0 +1,283 @@
+// Package pregel is a miniature Pregel-model engine (Malewicz et al.,
+// re-implemented after Pregel+): vertices exchange messages in BSP
+// supersteps, each active vertex runs a user Compute function over its
+// inbox, optional combiners pre-aggregate messages per target, and the run
+// terminates when every vertex has voted to halt and no messages are in
+// flight.
+//
+// It shares the graph/partition/comm substrate with the FLASH engine so the
+// Table V / Fig. 1 comparisons isolate the *programming model*: per-message
+// materialization, no frontier bitmaps, no pull mode, no beyond-neighborhood
+// communication.
+package pregel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"flash/graph"
+	"flash/internal/bitset"
+	"flash/internal/comm"
+	"flash/internal/partition"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Workers is the number of BSP workers (default 4).
+	Workers int
+	// MaxSupersteps aborts runaway programs (default 1<<20).
+	MaxSupersteps int
+}
+
+func (c *Config) fill() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.MaxSupersteps == 0 {
+		c.MaxSupersteps = 1 << 20
+	}
+}
+
+// Context is handed to Compute for messaging and halting.
+type Context[V, M any] struct {
+	w         *worker[V, M]
+	superstep int
+	self      graph.VID
+	halted    bool
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context[V, M]) Superstep() int { return c.superstep }
+
+// Self returns the vertex this Compute call runs for.
+func (c *Context[V, M]) Self() graph.VID { return c.self }
+
+// OutNeighbors returns the vertex's out-neighbors.
+func (c *Context[V, M]) OutNeighbors() []graph.VID { return c.w.g.OutNeighbors(c.self) }
+
+// OutDegree returns the vertex's out-degree.
+func (c *Context[V, M]) OutDegree() int { return c.w.g.OutDegree(c.self) }
+
+// InNeighbors returns the vertex's in-neighbors (directed algorithms such
+// as SCC traverse the transpose by messaging in-neighbors).
+func (c *Context[V, M]) InNeighbors() []graph.VID { return c.w.g.InNeighbors(c.self) }
+
+// NumVertices returns |V|.
+func (c *Context[V, M]) NumVertices() int { return c.w.g.NumVertices() }
+
+// Send delivers msg to dst at the next superstep.
+func (c *Context[V, M]) Send(dst graph.VID, msg M) { c.w.send(dst, msg) }
+
+// SendToNeighbors sends msg along all out-edges.
+func (c *Context[V, M]) SendToNeighbors(msg M) {
+	for _, d := range c.w.g.OutNeighbors(c.self) {
+		c.w.send(d, msg)
+	}
+}
+
+// SendToNeighborsW sends a per-edge message built from the edge weight.
+func (c *Context[V, M]) SendToNeighborsW(f func(dst graph.VID, w float32) M) {
+	adj := c.w.g.OutNeighbors(c.self)
+	ws := c.w.g.OutWeights(c.self)
+	for i, d := range adj {
+		var wt float32
+		if ws != nil {
+			wt = ws[i]
+		}
+		c.w.send(d, f(d, wt))
+	}
+}
+
+// VoteToHalt deactivates the vertex until a message wakes it.
+func (c *Context[V, M]) VoteToHalt() { c.halted = true }
+
+// Program is a vertex program over value type V and message type M.
+type Program[V, M any] struct {
+	// Init produces the initial vertex value; all vertices start active.
+	Init func(v graph.VID, deg int) V
+	// Compute runs on every active vertex each superstep.
+	Compute func(ctx *Context[V, M], val *V, msgs []M)
+	// Combine optionally pre-aggregates messages for one target.
+	Combine func(a, b M) M
+}
+
+// worker holds one worker's shard.
+type worker[V, M any] struct {
+	id    int
+	g     *graph.Graph
+	place partition.Placement
+	tr    comm.Transport
+	codec comm.Codec[M]
+	prog  *Program[V, M]
+
+	vals   []V // local master values, by local index
+	halted *bitset.Bitset
+	inbox  [][]M // per local index
+
+	// outgoing message buffers: combined map per destination worker when a
+	// combiner exists, else raw append buffers.
+	outRaw  [][]byte
+	pending map[graph.VID]M // combiner staging (local worker scope)
+
+	msgsSent uint64
+}
+
+func (w *worker[V, M]) send(dst graph.VID, msg M) {
+	w.msgsSent++
+	if w.prog.Combine != nil {
+		if old, ok := w.pending[dst]; ok {
+			w.pending[dst] = w.prog.Combine(old, msg)
+		} else {
+			w.pending[dst] = msg
+		}
+		return
+	}
+	w.bufferMsg(dst, msg)
+}
+
+func (w *worker[V, M]) bufferMsg(dst graph.VID, msg M) {
+	to := w.place.Owner(dst)
+	buf := w.outRaw[to]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dst))
+	buf = w.codec.Append(buf, &msg)
+	w.outRaw[to] = buf
+}
+
+func (w *worker[V, M]) flush() {
+	if w.prog.Combine != nil {
+		for dst, msg := range w.pending {
+			w.bufferMsg(dst, msg)
+			delete(w.pending, dst)
+		}
+	}
+	for to, buf := range w.outRaw {
+		if len(buf) > 0 {
+			w.tr.Send(w.id, to, buf)
+			w.outRaw[to] = nil
+		}
+	}
+	w.tr.EndRound(w.id)
+}
+
+// drain receives this round's messages into inboxes; returns how many
+// arrived.
+func (w *worker[V, M]) drain() int {
+	received := 0
+	w.tr.Drain(w.id, func(_ int, data []byte) {
+		off := 0
+		for off < len(data) {
+			dst := graph.VID(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			var msg M
+			n, err := w.codec.Decode(data[off:], &msg)
+			if err != nil {
+				panic(fmt.Sprintf("pregel: corrupt message frame: %v", err))
+			}
+			off += n
+			l := w.place.LocalIndex(dst)
+			if w.prog.Combine != nil && len(w.inbox[l]) == 1 {
+				w.inbox[l][0] = w.prog.Combine(w.inbox[l][0], msg)
+			} else {
+				w.inbox[l] = append(w.inbox[l], msg)
+			}
+			received++
+		}
+	})
+	return received
+}
+
+// Result of a run.
+type Result[V any] struct {
+	Values     []V
+	Supersteps int
+	Messages   uint64
+}
+
+// Run executes the program to termination and returns final vertex values.
+func Run[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) (Result[V], error) {
+	cfg.fill()
+	if prog.Init == nil || prog.Compute == nil {
+		return Result[V]{}, fmt.Errorf("pregel: program needs Init and Compute")
+	}
+	place := partition.NewRange(g.NumVertices(), cfg.Workers)
+	tr := comm.NewMem(cfg.Workers)
+	defer tr.Close()
+
+	workers := make([]*worker[V, M], cfg.Workers)
+	for i := range workers {
+		lc := place.LocalCount(i)
+		w := &worker[V, M]{
+			id:     i,
+			g:      g,
+			place:  place,
+			tr:     tr,
+			codec:  comm.CodecFor[M](),
+			prog:   &prog,
+			vals:   make([]V, lc),
+			halted: bitset.New(lc),
+			inbox:  make([][]M, lc),
+			outRaw: make([][]byte, cfg.Workers),
+		}
+		if prog.Combine != nil {
+			w.pending = make(map[graph.VID]M)
+		}
+		for l := 0; l < lc; l++ {
+			gid := place.GlobalID(i, l)
+			w.vals[l] = prog.Init(gid, g.OutDegree(gid))
+		}
+		workers[i] = w
+	}
+
+	var res Result[V]
+	for step := 0; ; step++ {
+		if step > cfg.MaxSupersteps {
+			return res, fmt.Errorf("pregel: exceeded %d supersteps", cfg.MaxSupersteps)
+		}
+		activeTotal := 0
+		receivedTotal := 0
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				active := 0
+				for l := 0; l < len(w.vals); l++ {
+					if w.halted.Test(l) && len(w.inbox[l]) == 0 {
+						continue
+					}
+					w.halted.Clear(l) // message delivery wakes the vertex
+					active++
+					ctx := Context[V, M]{w: w, superstep: step, self: w.place.GlobalID(w.id, l)}
+					w.prog.Compute(&ctx, &w.vals[l], w.inbox[l])
+					w.inbox[l] = w.inbox[l][:0]
+					if ctx.halted {
+						w.halted.Set(l)
+					}
+				}
+				w.flush()
+				received := w.drain()
+				mu.Lock()
+				activeTotal += active
+				receivedTotal += received
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		res.Supersteps = step + 1
+		if activeTotal == 0 && receivedTotal == 0 {
+			break
+		}
+	}
+
+	res.Values = make([]V, g.NumVertices())
+	for _, w := range workers {
+		for l := range w.vals {
+			res.Values[w.place.GlobalID(w.id, l)] = w.vals[l]
+		}
+		res.Messages += w.msgsSent
+	}
+	return res, nil
+}

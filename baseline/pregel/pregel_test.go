@@ -1,0 +1,413 @@
+package pregel
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"flash/graph"
+)
+
+var cfg = Config{Workers: 3}
+
+func refBFS(g *graph.Graph, root graph.VID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFS(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.GenPath(30), graph.GenStar(20), graph.GenErdosRenyi(80, 300, 1),
+	} {
+		got, err := BFS(g, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d]=%d want %d", g.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCC(t *testing.T) {
+	g := graph.GenErdosRenyi(60, 100, 2)
+	got, err := CC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify: same label iff connected (check edges + distinct label count
+	// equals BFS-component count).
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if got[u] != got[v] {
+			t.Fatalf("edge (%d,%d) with labels %d,%d", u, v, got[u], got[v])
+		}
+		return true
+	})
+	comps := map[uint32]bool{}
+	for _, l := range got {
+		comps[l] = true
+	}
+	// Count components by repeated BFS.
+	seen := make([]bool, g.NumVertices())
+	want := 0
+	for s := 0; s < g.NumVertices(); s++ {
+		if seen[s] {
+			continue
+		}
+		want++
+		for _, dv := range refBFS(g, graph.VID(s)) {
+			_ = dv
+		}
+		stack := []graph.VID{graph.VID(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.OutNeighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	if len(comps) != want {
+		t.Fatalf("%d labels, want %d components", len(comps), want)
+	}
+}
+
+func TestSSSP(t *testing.T) {
+	g := graph.WithRandomWeights(graph.GenErdosRenyi(50, 200, 3), 3)
+	got, err := SSSP(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relaxed check: triangle inequality holds along every edge and root=0.
+	if got[0] != 0 {
+		t.Fatal("root distance not 0")
+	}
+	g.Edges(func(u, v graph.VID, w float32) bool {
+		if got[u]+w < got[v]-1e-5 {
+			t.Fatalf("edge (%d,%d,%g): %g + w < %g", u, v, w, got[u], got[v])
+		}
+		return true
+	})
+}
+
+func TestBCAgainstBrandes(t *testing.T) {
+	g := graph.GenErdosRenyi(40, 140, 4)
+	got, err := BC(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refBrandes(g, 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("bc[%d]=%g want %g", v, got[v], want[v])
+		}
+	}
+}
+
+func refBrandes(g *graph.Graph, root graph.VID) []float64 {
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[root] = 1
+	dist[root] = 0
+	var order []graph.VID
+	q := []graph.VID{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		order = append(order, u)
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		for _, v := range g.OutNeighbors(w) {
+			if dist[v] == dist[w]+1 {
+				delta[w] += sigma[w] / sigma[v] * (1 + delta[v])
+			}
+		}
+	}
+	return delta
+}
+
+func TestMIS(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.GenStar(15), graph.GenCycle(9), graph.GenErdosRenyi(60, 200, 5),
+	} {
+		in, err := MIS(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if in[u] && in[v] {
+				t.Fatalf("%s: adjacent %d,%d in MIS", g.Name(), u, v)
+			}
+			return true
+		})
+		for v := 0; v < g.NumVertices(); v++ {
+			if in[v] {
+				continue
+			}
+			ok := false
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				if in[u] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("%s: %d uncovered", g.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMM(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.GenPath(11), graph.GenStar(8), graph.GenErdosRenyi(50, 160, 6), graph.GenCycle(7),
+	} {
+		match, err := MM(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if p := match[v]; p != -1 {
+				if match[p] != int32(v) || !g.HasEdge(graph.VID(v), graph.VID(p)) {
+					t.Fatalf("%s: bad match %d<->%d", g.Name(), v, p)
+				}
+			}
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if match[u] == -1 && match[v] == -1 {
+				t.Fatalf("%s: edge (%d,%d) unmatched on both sides", g.Name(), u, v)
+			}
+			return true
+		})
+	}
+}
+
+func TestKC(t *testing.T) {
+	g := graph.GenErdosRenyi(50, 180, 7)
+	got, err := KC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refCore(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("core[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func refCore(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.VID(v))
+	}
+	core := make([]int32, n)
+	removed := make([]bool, n)
+	maxSeen := 0
+	for round := 0; round < n; round++ {
+		bv, bd := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bd {
+				bv, bd = v, deg[v]
+			}
+		}
+		if bd > maxSeen {
+			maxSeen = bd
+		}
+		core[bv] = int32(maxSeen)
+		removed[bv] = true
+		for _, u := range g.OutNeighbors(graph.VID(bv)) {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+func TestTC(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{graph.GenComplete(5), 10},
+		{graph.GenComplete(6), 20},
+		{graph.GenCycle(3), 1},
+		{graph.GenStar(9), 0},
+	} {
+		got, err := TC(tc.g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: %d triangles, want %d", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestGC(t *testing.T) {
+	g := graph.GenErdosRenyi(60, 220, 8)
+	colors, err := GC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(u, v graph.VID, _ float32) bool {
+		if colors[u] == colors[v] {
+			t.Fatalf("edge (%d,%d) same color", u, v)
+		}
+		return true
+	})
+}
+
+func TestLPA(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(graph.VID(i), graph.VID(j))
+			b.AddEdge(graph.VID(i+5), graph.VID(j+5))
+		}
+	}
+	b.AddEdge(0, 5)
+	g := b.Build()
+	labels, err := LPA(g, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if labels[v] != labels[1] || labels[v+5] != labels[6] {
+			t.Fatalf("cliques fragmented: %v", labels)
+		}
+	}
+}
+
+func TestSCC(t *testing.T) {
+	g := graph.FromEdges(6, true, [][2]graph.VID{{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}, {1, 2}})
+	got, err := SCC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != got[1] || got[2] != got[3] || got[3] != got[4] {
+		t.Fatalf("scc grouping wrong: %v", got)
+	}
+	if got[0] == got[2] || got[5] == got[0] || got[5] == got[2] {
+		t.Fatalf("distinct sccs merged: %v", got)
+	}
+}
+
+func TestBCCCount(t *testing.T) {
+	// Two triangles sharing vertex 0 -> 2 BCCs.
+	g := graph.FromEdges(5, false, [][2]graph.VID{{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}})
+	res, err := BCC(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for v, l := range res.Labels {
+		if res.Parents[v] != -1 {
+			seen[l] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("%d BCC labels, want 2 (%v)", len(seen), res.Labels)
+	}
+}
+
+func TestMSFMatchesKruskal(t *testing.T) {
+	g := graph.WithRandomWeights(graph.GenErdosRenyi(60, 200, 9), 9)
+	forest, total, err := MSF(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kruskal reference.
+	type edge struct {
+		u, v graph.VID
+		w    float32
+	}
+	var all []edge
+	g.Edges(func(u, v graph.VID, w float32) bool {
+		if u < v {
+			all = append(all, edge{u, v, w})
+		}
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].w < all[j].w })
+	parent := make([]int, g.NumVertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var refTotal float64
+	refEdges := 0
+	for _, e := range all {
+		if find(int(e.u)) != find(int(e.v)) {
+			parent[find(int(e.u))] = find(int(e.v))
+			refTotal += float64(e.w)
+			refEdges++
+		}
+	}
+	if len(forest) != refEdges {
+		t.Fatalf("forest has %d edges, want %d", len(forest), refEdges)
+	}
+	if math.Abs(total-refTotal) > 1e-3 {
+		t.Fatalf("forest weight %g, want %g", total, refTotal)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := graph.GenPath(4)
+	if _, err := Run(g, Program[int32, int32]{}, cfg); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	short := Config{Workers: 2, MaxSupersteps: 2}
+	prog := Program[int32, int32]{
+		Init:    func(graph.VID, int) int32 { return 0 },
+		Compute: func(ctx *Context[int32, int32], val *int32, _ []int32) { ctx.SendToNeighbors(1) },
+	}
+	if _, err := Run(g, prog, short); err == nil {
+		t.Fatal("runaway program not aborted")
+	}
+}

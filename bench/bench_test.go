@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps harness tests fast: a fraction of the default scale is
+// impossible (scale is integral), so shrink via dataset subset + budget.
+func tinyOptions() Options {
+	return Options{
+		Scale:    1,
+		Budget:   30 * time.Second,
+		Run:      RunConfig{Workers: 2, Threads: 1, LPAIter: 3, CLK: 3},
+		Datasets: []string{"OR"},
+	}
+}
+
+func TestDatasetsBuild(t *testing.T) {
+	for _, d := range Datasets {
+		g := d.Build(1)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", d.Abbr)
+		}
+	}
+	if _, ok := DatasetByAbbr("OR"); !ok {
+		t.Fatal("OR missing")
+	}
+	if _, ok := DatasetByAbbr("ZZ"); ok {
+		t.Fatal("phantom dataset")
+	}
+}
+
+func TestDatasetRegimes(t *testing.T) {
+	// The three structural regimes of Table III must hold: social graphs
+	// are skewed, road graphs have tiny max degree, web graphs in between.
+	or, _ := DatasetByAbbr("OR")
+	us, _ := DatasetByAbbr("US")
+	gOR, gUS := or.Build(1), us.Build(1)
+	_, maxOR := gOR.MaxOutDegree()
+	_, maxUS := gUS.MaxOutDegree()
+	avgOR := float64(gOR.NumEdges()) / float64(gOR.NumVertices())
+	if float64(maxOR) < 5*avgOR {
+		t.Errorf("OR not skewed: max %d avg %.1f", maxOR, avgOR)
+	}
+	if maxUS > 10 {
+		t.Errorf("US max degree %d too high for a road network", maxUS)
+	}
+}
+
+func TestRunAppAllSupportedOnTinyGraph(t *testing.T) {
+	d, _ := DatasetByAbbr("OR")
+	g := d.Build(1)
+	rc := RunConfig{Workers: 2, LPAIter: 2, CLK: 3}
+	for _, sys := range Systems {
+		for _, app := range append(append([]App{}, TableVApps...), TableVIApps...) {
+			if !Supports(sys, app) {
+				if err := RunApp(sys, app, g, rc); err == nil {
+					t.Errorf("%s/%s: unsupported combination ran", sys, app)
+				}
+				continue
+			}
+			if sys != Flash && (app == AppKC || app == AppTC || app == AppBC || app == AppSCC || app == AppBCC || app == AppMSF) {
+				continue // slow baseline paths are covered by their own tests
+			}
+			if err := RunApp(sys, app, g, rc); err != nil {
+				t.Errorf("%s/%s: %v", sys, app, err)
+			}
+		}
+	}
+}
+
+func TestGridAndFig1(t *testing.T) {
+	grid := RunGrid([]App{AppBFS, AppCC}, tinyOptions())
+	var buf bytes.Buffer
+	grid.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"BFS", "CC", "OR", "FLASH", "Pregel+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("grid output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	Fig1(grid, &buf)
+	if !strings.Contains(buf.String(), "x") {
+		t.Fatalf("fig1 output lacks slowdowns:\n%s", buf.String())
+	}
+	wins, close2 := WinRate(grid)
+	if wins < 0 || wins > 1 || close2 < wins {
+		t.Fatalf("win rates out of range: %g %g", wins, close2)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	var buf bytes.Buffer
+	TableIII(&buf, 1)
+	if !strings.Contains(buf.String(), "road-usa-sim") {
+		t.Fatalf("table III:\n%s", buf.String())
+	}
+}
+
+func TestTableI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CC-opt", "MM-opt", "RC", "CL", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table I missing %q:\n%s", want, out)
+		}
+	}
+	// Productivity shape: FLASH's BFS must be among the shortest.
+	t.Log("\n" + out)
+}
+
+func TestFiguresRun(t *testing.T) {
+	opt := tinyOptions()
+	var buf bytes.Buffer
+	Fig3(&buf, opt)
+	if !strings.Contains(buf.String(), "dual(auto)") {
+		t.Fatalf("fig3:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Fig4a(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MM-opt") {
+		t.Fatalf("fig4a:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Breakdown(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "communication") {
+		t.Fatalf("breakdown:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Ablation(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "broadcast sync") {
+		t.Fatalf("ablation:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := CCOptRounds(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CC-opt rounds") {
+		t.Fatalf("ccopt:\n%s", buf.String())
+	}
+}
+
+func TestTimedCell(t *testing.T) {
+	c := timedCell(time.Second, func() error { return nil })
+	if c.Status != "" || c.Seconds < 0 {
+		t.Fatalf("cell %+v", c)
+	}
+	c = timedCell(10*time.Millisecond, func() error {
+		time.Sleep(time.Second)
+		return nil
+	})
+	if c.Status != "OT" {
+		t.Fatalf("timeout cell %+v", c)
+	}
+	c = timedCell(time.Second, func() error { return errUnsupported })
+	if c.Status != "ERR" {
+		t.Fatalf("error cell %+v", c)
+	}
+}

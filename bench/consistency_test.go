@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"flash"
+	"flash/algo"
+	"flash/baseline/gas"
+	"flash/baseline/gemini"
+	"flash/baseline/ligra"
+	"flash/baseline/pregel"
+	"flash/graph"
+)
+
+// The five frameworks implement the same specifications; on any graph their
+// results must agree. These cross-system tests are the strongest
+// integration check in the repository: a bug in any engine's propagation,
+// synchronization or termination logic shows up as a disagreement.
+
+func consistencyGraph() *graph.Graph { return graph.GenRMAT(512, 4096, 77) }
+
+func TestCrossSystemBFS(t *testing.T) {
+	g := consistencyGraph()
+	want, err := algo.BFS(g, 0, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.BFS(g, 0, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gas.BFS(g, 0, gas.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := gemini.BFS(g, 0, gemini.Config{Threads: 3})
+	lg := ligra.BFS(g, 0, ligra.Config{Threads: 3})
+	for v := range want {
+		if pg[v] != want[v] || gg[v] != want[v] || gm[v] != want[v] || lg[v] != want[v] {
+			t.Fatalf("dist[%d]: flash=%d pregel=%d gas=%d gemini=%d ligra=%d",
+				v, want[v], pg[v], gg[v], gm[v], lg[v])
+		}
+	}
+}
+
+func TestCrossSystemCC(t *testing.T) {
+	g := graph.GenErdosRenyi(400, 700, 9) // several components
+	want, err := algo.CC(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.CC(g, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gas.CC(g, gas.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := gemini.CC(g, gemini.Config{Threads: 3})
+	lg := ligra.CC(g, ligra.Config{Threads: 3})
+	opt, err := algo.CCOpt(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if pg[v] != want[v] || gg[v] != want[v] || gm[v] != want[v] || lg[v] != want[v] {
+			t.Fatalf("cc[%d] disagreement", v)
+		}
+	}
+	// CC-opt labels the same partition (labels themselves may differ).
+	seen := map[uint32]uint32{}
+	for v := range want {
+		if prev, ok := seen[want[v]]; ok {
+			if opt.Labels[v] != prev {
+				t.Fatalf("ccopt partition mismatch at %d", v)
+			}
+		} else {
+			seen[want[v]] = opt.Labels[v]
+		}
+	}
+}
+
+func TestCrossSystemBC(t *testing.T) {
+	g := graph.GenErdosRenyi(200, 800, 3)
+	want, err := algo.BC(g, 0, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.BC(g, 0, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gas.BC(g, 0, gas.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := gemini.BC(g, 0, gemini.Config{Threads: 3})
+	lg := ligra.BC(g, 0, ligra.Config{Threads: 3})
+	for v := range want {
+		for name, got := range map[string]float64{"pregel": pg[v], "gas": gg[v], "gemini": gm[v], "ligra": lg[v]} {
+			if math.Abs(got-want[v]) > 1e-6 {
+				t.Fatalf("bc[%d] %s=%g flash=%g", v, name, got, want[v])
+			}
+		}
+	}
+}
+
+func TestCrossSystemTC(t *testing.T) {
+	g := consistencyGraph()
+	want, err := algo.TC(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.TC(g, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gas.TC(g, gas.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ligra.TC(g, ligra.Config{Threads: 3})
+	if pg != want || gg != want || lg != want {
+		t.Fatalf("triangles: flash=%d pregel=%d gas=%d ligra=%d", want, pg, gg, lg)
+	}
+}
+
+func TestCrossSystemKC(t *testing.T) {
+	g := graph.GenErdosRenyi(200, 900, 5)
+	want, err := algo.KCOpt(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := algo.KC(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.KC(g, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gas.KC(g, gas.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ligra.KC(g, ligra.Config{Threads: 3})
+	for v := range want {
+		if basic[v] != want[v] || pg[v] != want[v] || gg[v] != want[v] || lg[v] != want[v] {
+			t.Fatalf("core[%d]: kcopt=%d kc=%d pregel=%d gas=%d ligra=%d",
+				v, want[v], basic[v], pg[v], gg[v], lg[v])
+		}
+	}
+}
+
+func TestCrossSystemMSF(t *testing.T) {
+	g := graph.WithRandomWeights(graph.GenErdosRenyi(150, 600, 4), 4)
+	want, err := algo.MSF(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := pregel.MSF(g, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want.Weight-total) > 1e-3 {
+		t.Fatalf("msf weight: flash=%g pregel=%g", want.Weight, total)
+	}
+}
+
+func TestCrossSystemSCC(t *testing.T) {
+	g := graph.GenRandomDirected(120, 400, 6)
+	want, err := algo.SCC(g, flash.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.SCC(g, pregel.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same partition (labels may differ).
+	fwd := map[int32]int32{}
+	for v := range want {
+		if prev, ok := fwd[want[v]]; ok {
+			if pg[v] != prev {
+				t.Fatalf("scc partition mismatch at %d", v)
+			}
+		} else {
+			fwd[want[v]] = pg[v]
+		}
+	}
+	rev := map[int32]int32{}
+	for v := range pg {
+		if prev, ok := rev[pg[v]]; ok {
+			if want[v] != prev {
+				t.Fatalf("scc partition mismatch (reverse) at %d", v)
+			}
+		} else {
+			rev[pg[v]] = want[v]
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V) at laptop scale: the dataset analogs of Table III, the
+// cross-system timing grids of Tables V and VI, the slowdown heat map of
+// Fig. 1, the propagation-mode comparison of Fig. 3, the active-vertex and
+// scalability plots of Fig. 4, the §V-E time breakdown, the §IV-C
+// optimization ablations, and the Table I LLoC comparison.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"flash/graph"
+)
+
+// Dataset is one paper-analog graph generator (see DESIGN.md §1 for the
+// substitution rationale). Scale 1 is the default benchmark size; larger
+// scales multiply the vertex count.
+type Dataset struct {
+	Abbr   string
+	Name   string
+	Domain string // SN, RN, WG (Table III)
+	Build  func(scale int) *graph.Graph
+}
+
+// Datasets mirrors Table III: two social networks, two road networks, two
+// web graphs, ordered as the paper orders them.
+var Datasets = []Dataset{
+	{
+		Abbr: "OR", Name: "soc-orkut-sim", Domain: "SN",
+		Build: func(s int) *graph.Graph {
+			n := 4096 * s
+			return graph.GenRMAT(n, n*12, 101)
+		},
+	},
+	{
+		Abbr: "TW", Name: "soc-twitter-sim", Domain: "SN",
+		Build: func(s int) *graph.Graph {
+			n := 8192 * s
+			return graph.GenRMAT(n, n*14, 202)
+		},
+	},
+	{
+		Abbr: "US", Name: "road-usa-sim", Domain: "RN",
+		Build: func(s int) *graph.Graph {
+			return graph.GenGrid(160*s, 40, 12, 303)
+		},
+	},
+	{
+		Abbr: "EU", Name: "europe-osm-sim", Domain: "RN",
+		Build: func(s int) *graph.Graph {
+			return graph.GenGrid(240*s, 48, 16, 404)
+		},
+	},
+	{
+		Abbr: "UK", Name: "uk-2002-sim", Domain: "WG",
+		Build: func(s int) *graph.Graph {
+			n := 6144 * s
+			return graph.GenWeb(n, 12, 32, 505)
+		},
+	},
+	{
+		Abbr: "SK", Name: "sk-2005-sim", Domain: "WG",
+		Build: func(s int) *graph.Graph {
+			n := 10240 * s
+			return graph.GenWeb(n, 16, 48, 606)
+		},
+	},
+}
+
+// DatasetByAbbr returns the dataset with the given abbreviation.
+func DatasetByAbbr(abbr string) (Dataset, bool) {
+	for _, d := range Datasets {
+		if d.Abbr == abbr {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// Cell is one measurement of a (system, app, dataset) combination.
+type Cell struct {
+	Seconds float64
+	Status  string // "" ok; "-" unsupported; "OT" over time budget; "ERR"
+}
+
+// String renders the cell the way the paper's tables do.
+func (c Cell) String() string {
+	if c.Status != "" {
+		return c.Status
+	}
+	switch {
+	case c.Seconds >= 100:
+		return fmt.Sprintf("%.1f", c.Seconds)
+	case c.Seconds >= 1:
+		return fmt.Sprintf("%.2f", c.Seconds)
+	default:
+		return fmt.Sprintf("%.4f", c.Seconds)
+	}
+}
+
+// Unsupported is the cell for an inexpressible combination.
+var Unsupported = Cell{Status: "-"}
+
+// timedCell runs f under a wall-clock budget; on timeout it reports "OT"
+// (the runaway goroutine is abandoned, acceptable for a benchmark CLI).
+func timedCell(budget time.Duration, f func() error) Cell {
+	type outcome struct {
+		d   time.Duration
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		start := time.Now()
+		err := f()
+		ch <- outcome{time.Since(start), err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return Cell{Status: "ERR"}
+		}
+		return Cell{Seconds: o.d.Seconds()}
+	case <-time.After(budget):
+		return Cell{Status: "OT"}
+	}
+}

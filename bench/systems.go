@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"fmt"
+
+	"flash"
+	"flash/algo"
+	"flash/baseline/gas"
+	"flash/baseline/gemini"
+	"flash/baseline/ligra"
+	"flash/baseline/pregel"
+	"flash/graph"
+)
+
+// System names a framework under comparison; PowerG is the GAS engine.
+type System string
+
+// The five systems of Tables I and V.
+const (
+	Flash   System = "FLASH"
+	Pregel  System = "Pregel+"
+	PowerG  System = "PowerG."
+	Gemini  System = "Gemini"
+	LigraSM System = "Ligra"
+)
+
+// Systems lists the comparison order used by every table.
+var Systems = []System{Pregel, PowerG, Gemini, LigraSM, Flash}
+
+// App names one benchmark application.
+type App string
+
+// Table V applications (first eight) and Table VI applications (last six).
+const (
+	AppCC  App = "CC"
+	AppBFS App = "BFS"
+	AppBC  App = "BC"
+	AppMIS App = "MIS"
+	AppMM  App = "MM"
+	AppKC  App = "KC"
+	AppTC  App = "TC"
+	AppGC  App = "GC"
+	AppSCC App = "SCC"
+	AppBCC App = "BCC"
+	AppLPA App = "LPA"
+	AppMSF App = "MSF"
+	AppRC  App = "RC"
+	AppCL  App = "CL"
+)
+
+// TableVApps are the eight applications of Table V.
+var TableVApps = []App{AppCC, AppBFS, AppBC, AppMIS, AppMM, AppKC, AppTC, AppGC}
+
+// TableVIApps are the six advanced applications of Table VI.
+var TableVIApps = []App{AppSCC, AppBCC, AppLPA, AppMSF, AppRC, AppCL}
+
+// RunConfig fixes the execution parameters of one comparison run.
+type RunConfig struct {
+	Workers int // distributed systems: workers; shared-memory: threads
+	Threads int // threads per worker for FLASH
+	LPAIter int // LPA rounds (default 10)
+	CLK     int // clique size for CL (default 4)
+}
+
+func (rc *RunConfig) fill() {
+	if rc.Workers == 0 {
+		rc.Workers = 4
+	}
+	if rc.Threads == 0 {
+		rc.Threads = 1
+	}
+	if rc.LPAIter == 0 {
+		rc.LPAIter = 10
+	}
+	if rc.CLK == 0 {
+		rc.CLK = 4
+	}
+}
+
+// RunApp executes one (system, app) pair on g and returns an error for
+// failures; inexpressible combinations return errUnsupported.
+func RunApp(sys System, app App, g *graph.Graph, rc RunConfig) error {
+	rc.fill()
+	fOpts := []flash.Option{flash.WithWorkers(rc.Workers), flash.WithThreads(rc.Threads)}
+	pCfg := pregel.Config{Workers: rc.Workers}
+	gCfg := gas.Config{Workers: rc.Workers}
+	smThreads := rc.Workers * rc.Threads // shared-memory systems use one node's cores
+	gemCfg := gemini.Config{Threads: smThreads}
+	ligCfg := ligra.Config{Threads: smThreads}
+
+	switch sys {
+	case Flash:
+		switch app {
+		case AppCC:
+			// The paper runs the better CC variant per graph: label
+			// propagation on low-diameter graphs, the optimized
+			// hook-and-jump algorithm on large-diameter road networks
+			// (avg degree is a reliable proxy for the regime).
+			if float64(g.NumEdges())/float64(g.NumVertices()) < 5 {
+				_, err := algo.CCOpt(g, fOpts...)
+				return err
+			}
+			_, err := algo.CC(g, fOpts...)
+			return err
+		case AppBFS:
+			_, err := algo.BFS(g, 0, fOpts...)
+			return err
+		case AppBC:
+			_, err := algo.BC(g, 0, fOpts...)
+			return err
+		case AppMIS:
+			_, err := algo.MIS(g, fOpts...)
+			return err
+		case AppMM:
+			_, err := algo.MMOpt(g, fOpts...) // MM-opt, Fig. 4(a)
+			return err
+		case AppKC:
+			_, err := algo.KCOpt(g, fOpts...)
+			return err
+		case AppTC:
+			_, err := algo.TC(g, fOpts...)
+			return err
+		case AppGC:
+			_, err := algo.GC(g, fOpts...)
+			return err
+		case AppSCC:
+			_, err := algo.SCC(asDirected(g), fOpts...)
+			return err
+		case AppBCC:
+			_, err := algo.BCC(g, fOpts...)
+			return err
+		case AppLPA:
+			_, err := algo.LPA(g, rc.LPAIter, fOpts...)
+			return err
+		case AppMSF:
+			_, err := algo.MSF(weighted(g), fOpts...)
+			return err
+		case AppRC:
+			_, err := algo.RC(g, fOpts...)
+			return err
+		case AppCL:
+			_, err := algo.CL(g, rc.CLK, fOpts...)
+			return err
+		}
+	case Pregel:
+		switch app {
+		case AppCC:
+			_, err := pregel.CC(g, pCfg)
+			return err
+		case AppBFS:
+			_, err := pregel.BFS(g, 0, pCfg)
+			return err
+		case AppBC:
+			_, err := pregel.BC(g, 0, pCfg)
+			return err
+		case AppMIS:
+			_, err := pregel.MIS(g, pCfg)
+			return err
+		case AppMM:
+			_, err := pregel.MM(g, pCfg)
+			return err
+		case AppKC:
+			_, err := pregel.KC(g, pCfg)
+			return err
+		case AppTC:
+			_, err := pregel.TC(g, pCfg)
+			return err
+		case AppGC:
+			_, err := pregel.GC(g, pCfg)
+			return err
+		case AppSCC:
+			_, err := pregel.SCC(asDirected(g), pCfg)
+			return err
+		case AppBCC:
+			_, err := pregel.BCC(g, pCfg)
+			return err
+		case AppMSF:
+			_, _, err := pregel.MSF(weighted(g), pCfg)
+			return err
+		}
+	case PowerG:
+		switch app {
+		case AppCC:
+			_, err := gas.CC(g, gCfg)
+			return err
+		case AppBFS:
+			_, err := gas.BFS(g, 0, gCfg)
+			return err
+		case AppBC:
+			_, err := gas.BC(g, 0, gCfg)
+			return err
+		case AppMIS:
+			_, err := gas.MIS(g, gCfg)
+			return err
+		case AppMM:
+			_, err := gas.MM(g, gCfg)
+			return err
+		case AppKC:
+			_, err := gas.KC(g, gCfg)
+			return err
+		case AppTC:
+			_, err := gas.TC(g, gCfg)
+			return err
+		case AppGC:
+			_, err := gas.GC(g, gCfg)
+			return err
+		case AppLPA:
+			_, err := gas.LPA(g, rc.LPAIter, gCfg)
+			return err
+		}
+	case Gemini:
+		switch app {
+		case AppCC:
+			gemini.CC(g, gemCfg)
+			return nil
+		case AppBFS:
+			gemini.BFS(g, 0, gemCfg)
+			return nil
+		case AppBC:
+			gemini.BC(g, 0, gemCfg)
+			return nil
+		case AppMIS:
+			gemini.MIS(g, gemCfg)
+			return nil
+		case AppMM:
+			gemini.MM(g, gemCfg)
+			return nil
+		}
+	case LigraSM:
+		switch app {
+		case AppCC:
+			ligra.CC(g, ligCfg)
+			return nil
+		case AppBFS:
+			ligra.BFS(g, 0, ligCfg)
+			return nil
+		case AppBC:
+			ligra.BC(g, 0, ligCfg)
+			return nil
+		case AppMIS:
+			ligra.MIS(g, ligCfg)
+			return nil
+		case AppMM:
+			ligra.MM(g, ligCfg)
+			return nil
+		case AppKC:
+			ligra.KC(g, ligCfg)
+			return nil
+		case AppTC:
+			ligra.TC(g, ligCfg)
+			return nil
+		}
+	}
+	return errUnsupported
+}
+
+var errUnsupported = fmt.Errorf("bench: combination not expressible")
+
+// Supports reports whether sys can express app, mirroring the paper's
+// feasibility matrix.
+func Supports(sys System, app App) bool {
+	support := map[System]map[App]bool{
+		Flash: {AppCC: true, AppBFS: true, AppBC: true, AppMIS: true, AppMM: true,
+			AppKC: true, AppTC: true, AppGC: true, AppSCC: true, AppBCC: true,
+			AppLPA: true, AppMSF: true, AppRC: true, AppCL: true},
+		Pregel: {AppCC: true, AppBFS: true, AppBC: true, AppMIS: true, AppMM: true,
+			AppKC: true, AppTC: true, AppGC: true, AppSCC: true, AppBCC: true, AppMSF: true},
+		PowerG: {AppCC: true, AppBFS: true, AppBC: true, AppMIS: true, AppMM: true,
+			AppKC: true, AppTC: true, AppGC: true, AppLPA: true},
+		Gemini:  {AppCC: true, AppBFS: true, AppBC: true, AppMIS: true, AppMM: true},
+		LigraSM: {AppCC: true, AppBFS: true, AppBC: true, AppMIS: true, AppMM: true, AppKC: true, AppTC: true},
+	}
+	return support[sys][app]
+}
+
+// asDirected passes the benchmark graph to SCC as-is: the symmetrized edges
+// make every connected component strongly connected, which exercises both
+// traversal phases over the full graph — the cost pattern Table VI measures.
+func asDirected(g *graph.Graph) *graph.Graph { return g }
+
+// weighted attaches deterministic random weights when missing (the paper:
+// "random weights are added to each of the edges if necessary").
+func weighted(g *graph.Graph) *graph.Graph {
+	if g.Weighted() {
+		return g
+	}
+	return graph.WithRandomWeights(g, 7)
+}

@@ -1,0 +1,110 @@
+// Command flashbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	flashbench -exp tableV  [-scale N] [-workers N] [-budget 60s] [-datasets OR,TW]
+//	flashbench -exp all     # every experiment in sequence
+//
+// Experiments: tableI, tableIII, tableV, tableVI, fig1, fig3, fig4a, fig4b,
+// fig4cd, breakdown, ablation, ccopt, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flash/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "tableV", "experiment to regenerate")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		workers  = flag.Int("workers", 4, "worker count")
+		threads  = flag.Int("threads", 1, "threads per worker (FLASH)")
+		budget   = flag.Duration("budget", 60*time.Second, "per-cell time budget")
+		datasets = flag.String("datasets", "", "comma-separated dataset abbreviations (default all)")
+		lpaIter  = flag.Int("lpa-iters", 10, "LPA iterations")
+		clK      = flag.Int("cl-k", 4, "clique size for CL")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Scale:  *scale,
+		Budget: *budget,
+		Run:    bench.RunConfig{Workers: *workers, Threads: *threads, LPAIter: *lpaIter, CLK: *clK},
+	}
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if err := run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "flashbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opt bench.Options) error {
+	out := os.Stdout
+	header := func(title string) { fmt.Fprintf(out, "\n== %s ==\n", title) }
+	switch exp {
+	case "tableI":
+		header("Table I: expressiveness & productivity (LLoC, lower is better; x = inexpressible)")
+		return bench.TableI(out)
+	case "tableIII":
+		header("Table III: dataset analogs")
+		bench.TableIII(out, opt.Scale)
+		return nil
+	case "tableV":
+		header("Table V: execution time (seconds) of the first eight applications")
+		grid := bench.TableV(opt)
+		grid.Print(out)
+		wins, close2 := bench.WinRate(grid)
+		dwins, dclose2 := bench.WinRateDistributed(grid)
+		fmt.Fprintf(out, "\nFLASH vs all systems:        fastest in %.1f%% of cells, within 2x in %.1f%%\n", wins*100, close2*100)
+		fmt.Fprintf(out, "FLASH vs distributed systems: fastest in %.1f%% of cells, within 2x in %.1f%%\n", dwins*100, dclose2*100)
+		return nil
+	case "tableVI":
+		header("Table VI: execution time (seconds) of the six advanced applications")
+		bench.TableVI(opt).Print(out)
+		return nil
+	case "fig1":
+		header("Fig. 1: slowdown vs fastest framework (heat map values)")
+		bench.Fig1(bench.RunGrid(append(append([]bench.App{}, bench.TableVApps...), bench.TableVIApps...), opt), out)
+		return nil
+	case "fig3":
+		header("Fig. 3: BFS under sparse / dense / dual propagation (seconds)")
+		bench.Fig3(out, opt)
+		return nil
+	case "fig4a":
+		header("Fig. 4(a): active vertices per iteration, MM-basic vs MM-opt (TW)")
+		return bench.Fig4a(out, opt)
+	case "fig4b":
+		header("Fig. 4(b): TC on TW with varying threads")
+		return bench.Fig4b(out, opt)
+	case "fig4cd":
+		header("Fig. 4(c,d): TC on TW and CL on UK with varying workers")
+		return bench.Fig4cd(out, opt)
+	case "breakdown":
+		header("Sec. V-E: execution-time breakdown of CC-opt on TW")
+		return bench.Breakdown(out, opt)
+	case "ablation":
+		header("Sec. IV-C: optimization ablations on CC (OR)")
+		return bench.Ablation(out, opt)
+	case "ccopt":
+		header("Appendix B: CC-basic supersteps vs CC-opt rounds (US)")
+		return bench.CCOptRounds(out, opt)
+	case "all":
+		for _, e := range []string{"tableIII", "tableI", "tableV", "tableVI", "fig1", "fig3", "fig4a", "fig4b", "fig4cd", "breakdown", "ablation", "ccopt"} {
+			if err := run(e, opt); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flash"
+	"flash/graph"
+	"flash/metrics"
+)
+
+func TestBuildGraphGenerators(t *testing.T) {
+	for _, gen := range []string{"rmat", "grid", "web", "er", "path", "cycle", "star", "tree"} {
+		g, err := buildGraph("", gen, 100, 300, 10, 10, 1, false)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", gen)
+		}
+	}
+	if _, err := buildGraph("", "nope", 10, 10, 1, 1, 1, false); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestBuildGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := buildGraph(path, "", 0, 0, 0, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if _, err := buildGraph(filepath.Join(dir, "missing.txt"), "", 0, 0, 0, 0, 0, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunAlgoAll(t *testing.T) {
+	g := graph.GenErdosRenyi(80, 320, 3)
+	opts := []flash.Option{flash.WithWorkers(2), flash.WithCollector(metrics.New())}
+	for algoName, wantPrefix := range map[string]string{
+		"bfs":      "bfs: reached",
+		"cc":       "cc: ",
+		"ccopt":    "cc-opt: ",
+		"bc":       "bc: max dependency",
+		"mis":      "mis: ",
+		"mm":       "mm: ",
+		"mmopt":    "mmopt: ",
+		"kc":       "kc: degeneracy",
+		"kcopt":    "kcopt: degeneracy",
+		"tc":       "tc: ",
+		"gc":       "gc: ",
+		"scc":      "scc: ",
+		"bcc":      "bcc: ",
+		"lpa":      "lpa: ",
+		"msf":      "msf: ",
+		"rc":       "rc: ",
+		"cl":       "cl: ",
+		"sssp":     "sssp: reached",
+		"pagerank": "pagerank: top vertex",
+	} {
+		summary, err := runAlgo(algoName, g, 0, 3, 3, 1, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", algoName, err)
+		}
+		if !strings.HasPrefix(summary, wantPrefix) {
+			t.Fatalf("%s: summary %q", algoName, summary)
+		}
+	}
+	if _, err := runAlgo("nope", g, 0, 3, 3, 1, opts); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

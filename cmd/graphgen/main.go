@@ -1,0 +1,76 @@
+// Command graphgen emits the synthetic dataset analogs (or any generator)
+// as edge-list files loadable by flashrun and graph.LoadEdgeListFile.
+//
+// Usage:
+//
+//	graphgen -dataset TW -scale 2 -out tw.txt
+//	graphgen -gen grid -rows 300 -cols 50 -out road.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flash/bench"
+	"flash/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "paper dataset analog: OR, TW, US, EU, UK, SK")
+		gen     = flag.String("gen", "rmat", "generator when -dataset is empty")
+		n       = flag.Int("n", 10000, "vertices")
+		m       = flag.Int("m", 80000, "edges")
+		rows    = flag.Int("rows", 100, "grid rows")
+		cols    = flag.Int("cols", 100, "grid cols")
+		scale   = flag.Int("scale", 1, "dataset scale factor")
+		seed    = flag.Int64("seed", 42, "seed")
+		weights = flag.Bool("weights", false, "attach random weights")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	if *dataset != "" {
+		d, ok := bench.DatasetByAbbr(*dataset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graphgen: unknown dataset %q\n", *dataset)
+			os.Exit(1)
+		}
+		g = d.Build(*scale)
+	} else {
+		switch *gen {
+		case "rmat":
+			g = graph.GenRMAT(*n, *m, *seed)
+		case "grid":
+			g = graph.GenGrid(*rows, *cols, 0, *seed)
+		case "web":
+			g = graph.GenWeb(*n, *m / *n + 1, 32, *seed)
+		case "er":
+			g = graph.GenErdosRenyi(*n, *m, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "graphgen: unknown generator %q\n", *gen)
+			os.Exit(1)
+		}
+	}
+	if *weights {
+		g = graph.WithRandomWeights(g, *seed)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, g)
+}

@@ -1,0 +1,46 @@
+// Command lloc counts logical lines of code per function (the paper's
+// Table I methodology) for arbitrary Go files, or regenerates Table I for
+// this repository.
+//
+// Usage:
+//
+//	lloc -exp tableI
+//	lloc algo/bfs.go baseline/pregel/algorithms.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flash/bench"
+	"flash/internal/lloc"
+)
+
+func main() {
+	exp := flag.String("exp", "", "tableI to regenerate the paper's Table I")
+	flag.Parse()
+
+	if *exp == "tableI" {
+		if err := bench.TableI(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lloc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "lloc: pass Go files or -exp tableI")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		rep, err := lloc.CountFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lloc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d logical lines\n", rep.Path, rep.Total)
+		for _, f := range rep.Funcs {
+			fmt.Printf("  %-30s %d\n", f.Name, f.Lines)
+		}
+	}
+}

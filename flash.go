@@ -1,0 +1,151 @@
+// Package flash is a Go implementation of FLASH, the programming model for
+// distributed graph processing algorithms of Li et al. (ICDE 2023).
+//
+// FLASH extends Ligra's vertexSubset/VertexMap/EdgeMap model to the
+// distributed setting: a graph is partitioned over workers with master–mirror
+// vertex replication, every primitive is one BSP superstep, EdgeMap switches
+// automatically between a dense (pull) and a sparse (push) kernel, and —
+// beyond Ligra — messages may travel along arbitrary, even *virtual*, edge
+// sets, enabling algorithms such as the optimized connected-components of
+// Qin et al. that communicate beyond the neighborhood.
+//
+// A program is ordinary Go driver code chaining the primitives:
+//
+//	type props struct{ Dis int32 }
+//
+//	e, _ := flash.NewEngine[props](g, flash.WithWorkers(4))
+//	defer e.Close()
+//	U := e.VertexMap(e.All(), nil, func(v flash.Vertex[props]) props {
+//	    if v.ID == root { return props{0} }
+//	    return props{Dis: 1 << 30}
+//	})
+//	U = e.VertexMap(e.All(), func(v flash.Vertex[props]) bool { return v.ID == root }, nil)
+//	for U.Size() != 0 {
+//	    U = e.EdgeMap(U, e.E(), nil, update, cond, reduce)
+//	}
+//
+// The algorithm suite from the paper lives in flash/algo; the runtime
+// (FLASHWARE) lives in internal packages.
+package flash
+
+import (
+	"flash/graph"
+	"flash/internal/comm"
+	"flash/internal/core"
+	"flash/metrics"
+)
+
+// VID identifies a vertex (dense ids 0..n-1).
+type VID = graph.VID
+
+// NoVertex is the "no vertex" sentinel for parent-pointer style properties.
+const NoVertex = graph.NoVertex
+
+// Vertex is the view of a vertex passed to user callbacks: id, degrees in
+// the base graph, and a pointer to its property value.
+type Vertex[V any] = core.Vtx[V]
+
+// VertexSubset is the paper's distributed vertexSubset type.
+type VertexSubset = core.Subset
+
+// EdgeSet is the H parameter of EdgeMap; see E, Reverse, JoinEU, JoinEE,
+// OutEdges and InEdges.
+type EdgeSet[V any] = core.EdgeSet[V]
+
+// Ctx gives edge-set functions read access to current vertex states.
+type Ctx[V any] = core.Ctx[V]
+
+// Mode selects an update-propagation kernel.
+type Mode = core.Mode
+
+// Propagation modes.
+const (
+	Auto = core.Auto
+	Push = core.Push
+	Pull = core.Pull
+)
+
+// Option configures an Engine.
+type Option func(*core.Config)
+
+// WithWorkers sets the number of simulated workers (default 4).
+func WithWorkers(n int) Option { return func(c *core.Config) { c.Workers = n } }
+
+// WithThreads sets the number of threads per worker (default 1).
+func WithThreads(n int) Option { return func(c *core.Config) { c.Threads = n } }
+
+// WithTransport supplies a custom transport (e.g. comm.NewTCP).
+func WithTransport(t comm.Transport) Option { return func(c *core.Config) { c.Transport = t } }
+
+// WithTCP routes inter-worker frames over real loopback TCP sockets instead
+// of in-memory mailboxes, exercising the full serialization and network
+// path.
+func WithTCP() Option { return func(c *core.Config) { c.UseTCP = true } }
+
+// WithMode forces all EdgeMaps into one propagation mode (for the Fig. 3
+// push/pull/dual comparison).
+func WithMode(m Mode) Option { return func(c *core.Config) { c.Mode = m } }
+
+// WithDenseThreshold sets the density denominator of the auto switch
+// (default 20: dense when |U|+outDeg(U) > |E|/20).
+func WithDenseThreshold(k int) Option { return func(c *core.Config) { c.DenseThreshold = k } }
+
+// WithFullMirrors replicates every vertex on every worker. Required by
+// algorithms using virtual edge sets or arbitrary cross-vertex reads
+// (communication beyond neighborhood).
+func WithFullMirrors() Option { return func(c *core.Config) { c.FullMirrors = true } }
+
+// WithHashPlacement assigns vertices to workers by id modulo instead of
+// contiguous ranges.
+func WithHashPlacement() Option { return func(c *core.Config) { c.UseHashPlacement = true } }
+
+// WithBatchBytes enables eager buffer flushing above the given size so
+// communication overlaps computation (0 disables the overlap).
+func WithBatchBytes(n int) Option { return func(c *core.Config) { c.BatchBytes = n } }
+
+// WithoutNecessaryMirrors broadcasts every synchronization to all workers
+// (ablation of the necessary-mirrors optimization).
+func WithoutNecessaryMirrors() Option {
+	return func(c *core.Config) { c.DisableNecessaryMirrors = true }
+}
+
+// WithCollector directs runtime metrics into col.
+func WithCollector(col *metrics.Collector) Option { return func(c *core.Config) { c.Collector = col } }
+
+// Engine runs FLASH programs over one property type V (a flat struct; see
+// comm.Codec for the supported field kinds).
+type Engine[V any] struct {
+	c *core.Engine[V]
+}
+
+// NewEngine partitions g over the configured workers and allocates the
+// per-worker property state.
+func NewEngine[V any](g *graph.Graph, opts ...Option) (*Engine[V], error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ce, err := core.NewEngine[V](g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine[V]{c: ce}, nil
+}
+
+// Close releases the engine's transport.
+func (e *Engine[V]) Close() error { return e.c.Close() }
+
+// Graph returns the topology the engine runs over.
+func (e *Engine[V]) Graph() *graph.Graph { return e.c.Graph() }
+
+// Workers returns the worker count.
+func (e *Engine[V]) Workers() int { return e.c.Workers() }
+
+// Metrics returns the runtime metrics collector.
+func (e *Engine[V]) Metrics() *metrics.Collector { return e.c.Metrics() }
+
+// ReplicationFactor returns the average copies per vertex of the partition.
+func (e *Engine[V]) ReplicationFactor() float64 { return e.c.ReplicationFactor() }
+
+// NumVertices returns |V| of the graph.
+func (e *Engine[V]) NumVertices() int { return e.c.Graph().NumVertices() }

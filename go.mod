@@ -1,0 +1,3 @@
+module flash
+
+go 1.24

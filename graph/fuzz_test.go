@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList throws arbitrary text at the edge-list parser: it must
+// never panic, and on success the loaded graph must satisfy the CSR
+// invariants (degree sums equal edge counts, adjacency sorted).
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n", true)
+	f.Add("# comment\n3 4 0.5\n", false)
+	f.Add("x y\n", false)
+	f.Fuzz(func(t *testing.T, text string, directed bool) {
+		if len(text) > 1<<12 {
+			return
+		}
+		g, err := LoadEdgeList(strings.NewReader(text), LoadOptions{Directed: directed, Weighted: true, MaxVertices: 1 << 16})
+		if err != nil {
+			return
+		}
+		sum := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			adj := g.OutNeighbors(VID(v))
+			sum += len(adj)
+			for i := 1; i < len(adj); i++ {
+				if adj[i-1] > adj[i] {
+					t.Fatalf("unsorted adjacency of %d: %v", v, adj)
+				}
+			}
+		}
+		if sum != g.NumEdges() {
+			t.Fatalf("degree sum %d != m %d", sum, g.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadOptions control edge-list parsing.
+type LoadOptions struct {
+	Directed bool
+	Weighted bool // third column parsed as float weight when present
+	Name     string
+	// MaxVertices rejects inputs whose largest vertex id reaches this bound
+	// (0 = unlimited). Set it when parsing untrusted input: vertex storage
+	// is proportional to the largest id, not to the edge count.
+	MaxVertices int
+}
+
+// LoadEdgeList parses a whitespace-separated edge list ("u v" or "u v w" per
+// line; '#' and '%' lines are comments). The vertex count is one plus the
+// largest id seen.
+func LoadEdgeList(r io.Reader, opt LoadOptions) (*Graph, error) {
+	type rawEdge struct {
+		u, v VID
+		w    float32
+	}
+	var edges []rawEdge
+	maxID := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %w", line, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %w", line, fields[1], err)
+		}
+		w := float32(1)
+		if opt.Weighted && len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %w", line, fields[2], err)
+			}
+			w = float32(wf)
+		}
+		if opt.MaxVertices > 0 && (u >= uint64(opt.MaxVertices) || v >= uint64(opt.MaxVertices)) {
+			return nil, fmt.Errorf("graph: line %d: vertex id beyond MaxVertices=%d", line, opt.MaxVertices)
+		}
+		edges = append(edges, rawEdge{VID(u), VID(v), w})
+		if int(u) > maxID {
+			maxID = int(u)
+		}
+		if int(v) > maxID {
+			maxID = int(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(maxID + 1).Directed(opt.Directed).Weighted(opt.Weighted).Name(opt.Name)
+	for _, e := range edges {
+		b.AddEdgeW(e.u, e.v, e.w)
+	}
+	return b.Build(), nil
+}
+
+// LoadEdgeListFile opens path and parses it with LoadEdgeList. The dataset
+// name defaults to the path when opt.Name is empty.
+func LoadEdgeListFile(path string, opt LoadOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	if opt.Name == "" {
+		opt.Name = path
+	}
+	return LoadEdgeList(f, opt)
+}
+
+// WriteEdgeList writes the graph as a parseable edge list. Undirected graphs
+// emit each edge once (u <= v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s\n", g.String()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v VID, wt float32) bool {
+		if !g.Directed() && u > v {
+			return true
+		}
+		if g.Weighted() {
+			_, werr = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		} else {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+// TestTableII encodes the paper's Table II exactly: a property is critical
+// iff it is got as the source of EDGEMAPDENSE, or got/put as the target of
+// EDGEMAPSPARSE.
+func TestTableII(t *testing.T) {
+	cases := []struct {
+		op   Op
+		role Role
+		want bool
+	}{
+		{Get, VertexMapSelf, false},
+		{Put, VertexMapSelf, false},
+		{Get, DenseSource, true},
+		{Get, DenseTarget, false},
+		{Put, DenseTarget, false},
+		{Get, SparseSource, false},
+		{Get, SparseTarget, true},
+		{Put, SparseTarget, true},
+	}
+	for _, c := range cases {
+		if got := Critical(Access{Property: "p", Op: c.op, Role: c.role}); got != c.want {
+			t.Errorf("Critical(op=%v role=%v) = %v, want %v", c.op, c.role, got, c.want)
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	r := Analyze([]Access{
+		{Property: "dis", Op: Put, Role: VertexMapSelf},
+		{Property: "dis", Op: Get, Role: DenseSource},
+		{Property: "scratch", Op: Put, Role: VertexMapSelf},
+		{Property: "scratch", Op: Get, Role: VertexMapSelf},
+	})
+	if !r.CriticalSet["dis"] {
+		t.Error("dis should be critical (dense source get)")
+	}
+	if r.CriticalSet["scratch"] {
+		t.Error("scratch is master-local, must not be critical")
+	}
+	if !r.AnyCritical() {
+		t.Error("AnyCritical should be true")
+	}
+	if Analyze(nil).AnyCritical() {
+		t.Error("empty analysis should have no critical properties")
+	}
+}

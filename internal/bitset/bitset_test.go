@@ -1,0 +1,217 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	b := New(130)
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("new bitset not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("Test(%d) = false after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("Test(64) after Clear")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count after clear = %d", b.Count())
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	b := New(10)
+	if b.TestAndSet(3) {
+		t.Fatal("TestAndSet on absent bit returned true")
+	}
+	if !b.TestAndSet(3) {
+		t.Fatal("TestAndSet on present bit returned false")
+	}
+}
+
+func TestFillTrim(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.Fill()
+		if got := b.Count(); got != n {
+			t.Errorf("Fill(%d).Count = %d", n, got)
+		}
+	}
+}
+
+func TestSetOpsSmall(t *testing.T) {
+	a, b := New(200), New(200)
+	for i := 0; i < 200; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	u := a.Clone()
+	u.Union(b)
+	in := a.Clone()
+	in.Intersect(b)
+	mi := a.Clone()
+	mi.Minus(b)
+	for i := 0; i < 200; i++ {
+		ia, ib := i%2 == 0, i%3 == 0
+		if u.Test(i) != (ia || ib) {
+			t.Fatalf("union wrong at %d", i)
+		}
+		if in.Test(i) != (ia && ib) {
+			t.Fatalf("intersect wrong at %d", i)
+		}
+		if mi.Test(i) != (ia && !ib) {
+			t.Fatalf("minus wrong at %d", i)
+		}
+	}
+}
+
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	b := New(300)
+	want := []int{2, 7, 64, 65, 199, 256}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.Range(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+	n := 0
+	b.Range(func(i int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	b := New(70)
+	b.Set(0)
+	b.Set(69)
+	c := New(70)
+	c.SetWords(b.Words())
+	if !c.Equal(b) {
+		t.Fatal("SetWords did not reproduce set")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"neg-cap":   func() { New(-1) },
+		"oob-set":   func() { New(5).Set(5) },
+		"oob-test":  func() { New(5).Test(-1) },
+		"cap-union": func() { a, b := New(5), New(6); a.Union(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: bitset semantics match a map[int]bool model under random ops.
+func TestQuickAgainstMapModel(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 97
+		b := New(n)
+		model := map[int]bool{}
+		for i := 0; i < int(nOps)+1; i++ {
+			x := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(x)
+				model[x] = true
+			case 1:
+				b.Clear(x)
+				delete(model, x)
+			case 2:
+				if b.Test(x) != model[x] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		ok := true
+		b.Range(func(i int) bool {
+			if !model[i] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| = |A| + |B| - |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		u := a.Clone()
+		u.Union(b)
+		in := a.Clone()
+		in.Intersect(b)
+		return u.Count() == a.Count()+b.Count()-in.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetTest(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+		_ = s.Test((i * 7) & (1<<20 - 1))
+	}
+}
+
+func BenchmarkRangeDense(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 2 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := 0
+		s.Range(func(int) bool { c++; return true })
+	}
+}

@@ -1,0 +1,282 @@
+// Package comm provides the message-passing substrate the engines run on:
+// binary codecs for vertex property values and round-oriented transports
+// (in-memory mailboxes and loopback TCP) that model the paper's MPI runtime.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Codec serializes vertex property values for the wire. Append must write a
+// self-delimiting encoding; Decode must consume exactly the bytes Append
+// produced and return how many it consumed.
+type Codec[V any] interface {
+	Append(dst []byte, v *V) []byte
+	Decode(src []byte, v *V) (int, error)
+}
+
+// Marshaler may be implemented by a property type (on its pointer receiver)
+// to bypass the reflection codec with a hand-written encoding.
+type Marshaler interface {
+	AppendBinary(dst []byte) []byte
+	DecodeBinary(src []byte) (int, error)
+}
+
+// CodecFor returns the best codec for V: a wrapper around V's Marshaler
+// implementation when present, otherwise a reflection-built binary codec.
+func CodecFor[V any]() Codec[V] {
+	var v V
+	if _, ok := any(&v).(Marshaler); ok {
+		return marshalerCodec[V]{}
+	}
+	return NewReflectCodec[V]()
+}
+
+type marshalerCodec[V any] struct{}
+
+func (marshalerCodec[V]) Append(dst []byte, v *V) []byte {
+	return any(v).(Marshaler).AppendBinary(dst)
+}
+
+func (marshalerCodec[V]) Decode(src []byte, v *V) (int, error) {
+	return any(v).(Marshaler).DecodeBinary(src)
+}
+
+// ReflectCodec encodes flat structs (and slices/arrays of them) using
+// reflection over a precomputed field plan: little-endian fixed-width
+// integers and floats, 1-byte bools, uvarint-length-prefixed slices and
+// strings. It supports the property types every algorithm in this repository
+// uses without per-type boilerplate.
+type ReflectCodec[V any] struct {
+	root *fieldPlan
+}
+
+// NewReflectCodec builds the encode/decode plan for V once. It panics if V
+// contains unsupported kinds (maps, funcs, channels, pointers): property
+// structs must be value types, which the engine requires anyway for
+// copy-on-write next-state semantics.
+func NewReflectCodec[V any]() *ReflectCodec[V] {
+	var v V
+	t := reflect.TypeOf(v)
+	if t == nil {
+		panic("comm: cannot build codec for interface type")
+	}
+	return &ReflectCodec[V]{root: planFor(t)}
+}
+
+type fieldPlan struct {
+	kind   reflect.Kind
+	size   int          // for fixed-width numerics
+	elem   *fieldPlan   // for slices/arrays
+	fields []*fieldPlan // for structs
+	typ    reflect.Type
+}
+
+func planFor(t reflect.Type) *fieldPlan {
+	p := &fieldPlan{kind: t.Kind(), typ: t}
+	switch t.Kind() {
+	case reflect.Bool:
+		p.size = 1
+	case reflect.Int8, reflect.Uint8:
+		p.size = 1
+	case reflect.Int16, reflect.Uint16:
+		p.size = 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		p.size = 4
+	case reflect.Int64, reflect.Uint64, reflect.Float64, reflect.Int, reflect.Uint:
+		p.size = 8
+	case reflect.String:
+		// length-prefixed bytes
+	case reflect.Slice, reflect.Array:
+		p.elem = planFor(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				panic(fmt.Sprintf("comm: unexported field %s.%s not supported", t, f.Name))
+			}
+			p.fields = append(p.fields, planFor(f.Type))
+		}
+	default:
+		panic(fmt.Sprintf("comm: unsupported kind %s in property type %s", t.Kind(), t))
+	}
+	return p
+}
+
+func (c *ReflectCodec[V]) Append(dst []byte, v *V) []byte {
+	return appendValue(dst, c.root, reflect.ValueOf(v).Elem())
+}
+
+func appendValue(dst []byte, p *fieldPlan, v reflect.Value) []byte {
+	switch p.kind {
+	case reflect.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return append(dst, b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return appendUint(dst, uint64(v.Int()), p.size)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return appendUint(dst, v.Uint(), p.size)
+	case reflect.Float32:
+		return appendUint(dst, uint64(math.Float32bits(float32(v.Float()))), 4)
+	case reflect.Float64:
+		return appendUint(dst, math.Float64bits(v.Float()), 8)
+	case reflect.String:
+		s := v.String()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case reflect.Slice:
+		n := v.Len()
+		dst = binary.AppendUvarint(dst, uint64(n))
+		for i := 0; i < n; i++ {
+			dst = appendValue(dst, p.elem, v.Index(i))
+		}
+		return dst
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			dst = appendValue(dst, p.elem, v.Index(i))
+		}
+		return dst
+	case reflect.Struct:
+		for i, fp := range p.fields {
+			dst = appendValue(dst, fp, v.Field(i))
+		}
+		return dst
+	}
+	panic("comm: unreachable kind " + p.kind.String())
+}
+
+func appendUint(dst []byte, u uint64, size int) []byte {
+	switch size {
+	case 1:
+		return append(dst, byte(u))
+	case 2:
+		return binary.LittleEndian.AppendUint16(dst, uint16(u))
+	case 4:
+		return binary.LittleEndian.AppendUint32(dst, uint32(u))
+	default:
+		return binary.LittleEndian.AppendUint64(dst, u)
+	}
+}
+
+func (c *ReflectCodec[V]) Decode(src []byte, v *V) (int, error) {
+	return decodeValue(src, c.root, reflect.ValueOf(v).Elem())
+}
+
+var errShort = fmt.Errorf("comm: short buffer")
+
+func decodeValue(src []byte, p *fieldPlan, v reflect.Value) (int, error) {
+	switch p.kind {
+	case reflect.Bool:
+		if len(src) < 1 {
+			return 0, errShort
+		}
+		v.SetBool(src[0] != 0)
+		return 1, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		u, err := readUint(src, p.size)
+		if err != nil {
+			return 0, err
+		}
+		// Sign-extend from the encoded width.
+		shift := uint(64 - 8*p.size)
+		v.SetInt(int64(u<<shift) >> shift)
+		return p.size, nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u, err := readUint(src, p.size)
+		if err != nil {
+			return 0, err
+		}
+		v.SetUint(u)
+		return p.size, nil
+	case reflect.Float32:
+		u, err := readUint(src, 4)
+		if err != nil {
+			return 0, err
+		}
+		v.SetFloat(float64(math.Float32frombits(uint32(u))))
+		return 4, nil
+	case reflect.Float64:
+		u, err := readUint(src, 8)
+		if err != nil {
+			return 0, err
+		}
+		v.SetFloat(math.Float64frombits(u))
+		return 8, nil
+	case reflect.String:
+		n, k := binary.Uvarint(src)
+		if k <= 0 || uint64(len(src)-k) < n {
+			return 0, errShort
+		}
+		v.SetString(string(src[k : k+int(n)]))
+		return k + int(n), nil
+	case reflect.Slice:
+		n, k := binary.Uvarint(src)
+		if k <= 0 {
+			return 0, errShort
+		}
+		// Every element occupies at least one byte, so a length prefix
+		// larger than the remaining buffer is corrupt — reject it before
+		// allocating (a hostile prefix must not drive MakeSlice to OOM).
+		if n > uint64(len(src)-k) {
+			return 0, errShort
+		}
+		if n == 0 {
+			v.Set(reflect.Zero(p.typ)) // empty decodes as nil: simpler equality
+			return k, nil
+		}
+		off := k
+		s := reflect.MakeSlice(p.typ, int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			c, err := decodeValue(src[off:], p.elem, s.Index(i))
+			if err != nil {
+				return 0, err
+			}
+			off += c
+		}
+		v.Set(s)
+		return off, nil
+	case reflect.Array:
+		off := 0
+		for i := 0; i < v.Len(); i++ {
+			c, err := decodeValue(src[off:], p.elem, v.Index(i))
+			if err != nil {
+				return 0, err
+			}
+			off += c
+		}
+		return off, nil
+	case reflect.Struct:
+		off := 0
+		for i, fp := range p.fields {
+			c, err := decodeValue(src[off:], fp, v.Field(i))
+			if err != nil {
+				return 0, err
+			}
+			off += c
+		}
+		return off, nil
+	}
+	panic("comm: unreachable kind " + p.kind.String())
+}
+
+func readUint(src []byte, size int) (uint64, error) {
+	if len(src) < size {
+		return 0, errShort
+	}
+	switch size {
+	case 1:
+		return uint64(src[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(src)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(src)), nil
+	default:
+		return binary.LittleEndian.Uint64(src), nil
+	}
+}

@@ -1,0 +1,228 @@
+package comm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type flatProps struct {
+	Dis   int32
+	Num   uint64
+	B     float64
+	Seen  bool
+	Level int16
+	Small uint8
+	F     float32
+	N     int
+}
+
+type sliceProps struct {
+	Out   []uint32
+	Count int64
+	Name  string
+	Pair  [2]float32
+	Nest  []inner
+}
+
+type inner struct {
+	A int32
+	B bool
+}
+
+func roundTrip[V any](t *testing.T, c Codec[V], v V) V {
+	t.Helper()
+	buf := c.Append(nil, &v)
+	var got V
+	n, err := c.Decode(buf, &got)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func TestReflectCodecFlat(t *testing.T) {
+	c := NewReflectCodec[flatProps]()
+	v := flatProps{Dis: -7, Num: math.MaxUint64, B: 3.14, Seen: true, Level: -300, Small: 255, F: -2.5, N: -1 << 40}
+	got := roundTrip(t, c, v)
+	if got != v {
+		t.Fatalf("round trip: got %+v want %+v", got, v)
+	}
+}
+
+func TestReflectCodecSlices(t *testing.T) {
+	c := NewReflectCodec[sliceProps]()
+	v := sliceProps{
+		Out:   []uint32{1, 99, 1 << 30},
+		Count: -5,
+		Name:  "héllo",
+		Pair:  [2]float32{1.5, -0.25},
+		Nest:  []inner{{1, true}, {-2, false}},
+	}
+	got := roundTrip(t, c, v)
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip: got %+v want %+v", got, v)
+	}
+}
+
+func TestReflectCodecEmptySlices(t *testing.T) {
+	c := NewReflectCodec[sliceProps]()
+	got := roundTrip(t, c, sliceProps{})
+	if len(got.Out) != 0 || got.Name != "" {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestCodecConcatenatedValues(t *testing.T) {
+	// Frames hold many values back to back; decode must be self-delimiting.
+	c := NewReflectCodec[sliceProps]()
+	a := sliceProps{Out: []uint32{1, 2}, Name: "a"}
+	b := sliceProps{Count: 9, Nest: []inner{{5, true}}}
+	buf := c.Append(nil, &a)
+	buf = c.Append(buf, &b)
+	var ga, gb sliceProps
+	n1, err := c.Decode(buf, &ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := c.Decode(buf[n1:], &gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d+%d of %d", n1, n2, len(buf))
+	}
+	if !reflect.DeepEqual(ga, a) || !reflect.DeepEqual(gb, b) {
+		t.Fatalf("got %+v / %+v", ga, gb)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	c := NewReflectCodec[flatProps]()
+	v := flatProps{Dis: 1}
+	buf := c.Append(nil, &v)
+	for cut := 0; cut < len(buf); cut++ {
+		var got flatProps
+		if _, err := c.Decode(buf[:cut], &got); err == nil {
+			t.Fatalf("no error on truncation at %d", cut)
+		}
+	}
+}
+
+func TestUnsupportedKindsPanic(t *testing.T) {
+	type withMap struct{ M map[int]int }
+	type withPtr struct{ P *int }
+	type withUnexported struct{ x int } //nolint:unused
+	for name, f := range map[string]func(){
+		"map":        func() { NewReflectCodec[withMap]() },
+		"ptr":        func() { NewReflectCodec[withPtr]() },
+		"unexported": func() { NewReflectCodec[withUnexported]() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+type customVal struct {
+	X uint32
+}
+
+func (c *customVal) AppendBinary(dst []byte) []byte {
+	return append(dst, byte(c.X), byte(c.X>>8), byte(c.X>>16), byte(c.X>>24))
+}
+
+func (c *customVal) DecodeBinary(src []byte) (int, error) {
+	if len(src) < 4 {
+		return 0, errShort
+	}
+	c.X = uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24
+	return 4, nil
+}
+
+func TestCodecForPrefersMarshaler(t *testing.T) {
+	c := CodecFor[customVal]()
+	if _, ok := c.(marshalerCodec[customVal]); !ok {
+		t.Fatalf("CodecFor returned %T, want marshalerCodec", c)
+	}
+	got := roundTrip[customVal](t, c, customVal{X: 0xDEADBEEF})
+	if got.X != 0xDEADBEEF {
+		t.Fatalf("got %x", got.X)
+	}
+	if _, ok := CodecFor[flatProps]().(*ReflectCodec[flatProps]); !ok {
+		t.Fatal("CodecFor for plain struct should use reflection codec")
+	}
+}
+
+// Property: arbitrary values survive a round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	c := NewReflectCodec[sliceProps]()
+	f := func(out []uint32, count int64, name string, p0, p1 float32, as []int32, bs []bool) bool {
+		n := len(as)
+		if len(bs) < n {
+			n = len(bs)
+		}
+		nest := make([]inner, n)
+		for i := 0; i < n; i++ {
+			nest[i] = inner{as[i], bs[i]}
+		}
+		v := sliceProps{Out: out, Count: count, Name: name, Pair: [2]float32{p0, p1}, Nest: nest}
+		buf := c.Append(nil, &v)
+		var got sliceProps
+		k, err := c.Decode(buf, &got)
+		if err != nil || k != len(buf) {
+			return false
+		}
+		if v.Out == nil {
+			v.Out = []uint32{}
+		}
+		if got.Out == nil {
+			got.Out = []uint32{}
+		}
+		if got.Nest == nil {
+			got.Nest = []inner{}
+		}
+		if v.Nest == nil {
+			v.Nest = []inner{}
+		}
+		return reflect.DeepEqual(v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReflectCodecFlat(b *testing.B) {
+	c := NewReflectCodec[flatProps]()
+	v := flatProps{Dis: 42, Num: 7, B: 1.0}
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = c.Append(buf[:0], &v)
+		var got flatProps
+		if _, err := c.Decode(buf, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalerCodec(b *testing.B) {
+	c := CodecFor[customVal]()
+	v := customVal{X: 7}
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = c.Append(buf[:0], &v)
+		var got customVal
+		if _, err := c.Decode(buf, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

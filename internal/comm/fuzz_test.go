@@ -1,0 +1,39 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReflectCodecDecode throws arbitrary bytes at the decoder: it must
+// never panic or over-read, and any successfully decoded value must survive
+// a canonical re-encode/decode round trip (arbitrary input may use
+// non-canonical uvarint/bool encodings, so byte-level equality is only
+// required after one canonicalization).
+func FuzzReflectCodecDecode(f *testing.F) {
+	c := NewReflectCodec[sliceProps]()
+	good := sliceProps{Out: []uint32{1, 2, 3}, Count: -9, Name: "x", Pair: [2]float32{1, 2}, Nest: []inner{{5, true}}}
+	f.Add(c.Append(nil, &good))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v1 sliceProps
+		n, err := c.Decode(data, &v1)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		canon := c.Append(nil, &v1)
+		var v2 sliceProps
+		k, err := c.Decode(canon, &v2)
+		if err != nil || k != len(canon) {
+			t.Fatalf("canonical decode failed: n=%d err=%v", k, err)
+		}
+		re := c.Append(nil, &v2)
+		if !bytes.Equal(re, canon) {
+			t.Fatalf("canonical round trip unstable:\n in %x\nout %x", canon, re)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is a loopback-socket transport: every worker pair is connected with a
+// real TCP connection and frames are length-prefixed on the wire. It is the
+// closest in-process analog of the paper's MPI runtime and exists to make
+// the serialization and network path genuine; the Mem transport is the
+// default for benchmarks.
+//
+// Wire format per frame: round uint32 | flag byte (0 data, 1 end-of-round) |
+// length uint32 | payload. The sender id is implicit per connection.
+type TCP struct {
+	m     int
+	hub   *Mem // mailboxes, stash and drain logic are shared with Mem
+	conns [][]*tcpConn
+	lns   []net.Listener
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func (tc *tcpConn) writeFrame(round uint32, flag byte, data []byte) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], round)
+	hdr[4] = flag
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(data)))
+	if _, err := tc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := tc.w.Write(data); err != nil {
+		return err
+	}
+	if flag == 1 {
+		return tc.w.Flush() // round boundaries always flush
+	}
+	return nil
+}
+
+// NewTCP builds a full mesh of loopback connections among m workers.
+func NewTCP(m int) (*TCP, error) {
+	t := &TCP{m: m, hub: NewMem(m)}
+	t.conns = make([][]*tcpConn, m)
+	for i := range t.conns {
+		t.conns[i] = make([]*tcpConn, m)
+	}
+	t.lns = make([]net.Listener, m)
+	for i := 0; i < m; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("comm: listen for worker %d: %w", i, err)
+		}
+		t.lns[i] = ln
+	}
+	// Accept in background; worker j dials workers i < j.
+	var wg sync.WaitGroup
+	errs := make(chan error, m*m)
+	for i := 0; i < m; i++ {
+		i := i
+		expect := m - 1 - i // peers j > i dial us
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < expect; k++ {
+				c, err := t.lns[i].Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(c, hello[:]); err != nil {
+					errs <- err
+					return
+				}
+				j := int(binary.LittleEndian.Uint32(hello[:]))
+				t.conns[i][j] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 1<<16)}
+			}
+		}()
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < j; i++ {
+			c, err := net.Dial("tcp", t.lns[i].Addr().String())
+			if err != nil {
+				errs <- err
+				continue
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(j))
+			if _, err := c.Write(hello[:]); err != nil {
+				errs <- err
+				continue
+			}
+			t.conns[j][i] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 1<<16)}
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Close()
+		return nil, fmt.Errorf("comm: tcp mesh setup: %w", err)
+	default:
+	}
+	// Start one reader per incoming connection direction.
+	for me := 0; me < m; me++ {
+		for peer := 0; peer < m; peer++ {
+			if peer == me || t.conns[me][peer] == nil {
+				continue
+			}
+			go t.readLoop(me, peer, t.conns[me][peer].c)
+		}
+	}
+	return t, nil
+}
+
+func (t *TCP) readLoop(me, peer int, c net.Conn) {
+	r := bufio.NewReaderSize(c, 1<<16)
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return // connection closed
+		}
+		round := binary.LittleEndian.Uint32(hdr[0:4])
+		flag := hdr[4]
+		n := binary.LittleEndian.Uint32(hdr[5:9])
+		var data []byte
+		if n > 0 {
+			data = make([]byte, n)
+			if _, err := io.ReadFull(r, data); err != nil {
+				return
+			}
+		}
+		if flag == 1 {
+			data = nil
+		} else if data == nil {
+			data = []byte{}
+		}
+		t.hub.boxes[me].push(frame{from: peer, round: round, data: data})
+	}
+}
+
+func (t *TCP) Workers() int { return t.m }
+
+func (t *TCP) Send(from, to int, data []byte) {
+	t.hub.frames.Add(1)
+	t.hub.bytes.Add(uint64(len(data)))
+	round := t.hub.rounds[from].Load()
+	if from == to {
+		if data == nil {
+			data = []byte{}
+		}
+		t.hub.boxes[to].push(frame{from: from, round: round, data: data})
+		return
+	}
+	if err := t.conns[from][to].writeFrame(round, 0, data); err != nil {
+		panic(fmt.Sprintf("comm: tcp send %d->%d: %v", from, to, err))
+	}
+}
+
+func (t *TCP) EndRound(from int) {
+	r := t.hub.rounds[from].Load()
+	for to := 0; to < t.m; to++ {
+		if to == from {
+			t.hub.boxes[to].push(frame{from: from, round: r, data: nil})
+			continue
+		}
+		if err := t.conns[from][to].writeFrame(r, 1, nil); err != nil {
+			panic(fmt.Sprintf("comm: tcp end-round %d->%d: %v", from, to, err))
+		}
+	}
+	t.hub.rounds[from].Store(r + 1)
+}
+
+func (t *TCP) Drain(to int, h func(from int, data []byte)) { t.hub.Drain(to, h) }
+
+func (t *TCP) Stats() Stats { return t.hub.Stats() }
+
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		for _, ln := range t.lns {
+			if ln != nil {
+				if err := ln.Close(); err != nil && t.closeErr == nil {
+					t.closeErr = err
+				}
+			}
+		}
+		for _, row := range t.conns {
+			for _, c := range row {
+				if c != nil {
+					if err := c.c.Close(); err != nil && t.closeErr == nil {
+						t.closeErr = err
+					}
+				}
+			}
+		}
+	})
+	return t.closeErr
+}

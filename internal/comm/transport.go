@@ -1,0 +1,164 @@
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Transport moves byte frames between workers in bulk-synchronous rounds.
+//
+// Protocol: within a round, a worker calls Send any number of times, then
+// EndRound exactly once, then Drain exactly once. Drain blocks until the
+// end-of-round marker has arrived from every peer (including the worker
+// itself) and delivers every data frame of that round, per-sender in send
+// order. All workers must execute the same number of rounds.
+//
+// Frames carry a round number so that a fast worker may run ahead into the
+// next round without corrupting a slow receiver's current round (its early
+// frames are stashed).
+type Transport interface {
+	// Workers returns the number of workers m.
+	Workers() int
+	// Send enqueues a data frame for `to`. The transport takes ownership of
+	// data. Safe for concurrent use by threads of the same worker.
+	Send(from, to int, data []byte)
+	// EndRound marks `from` as finished sending for its current round.
+	EndRound(from int)
+	// Drain delivers all data frames of `to`'s current round and advances
+	// the round. h must not retain data beyond the call.
+	Drain(to int, h func(from int, data []byte))
+	// Stats returns cumulative transfer statistics.
+	Stats() Stats
+	// Close releases transport resources. No calls may follow Close.
+	Close() error
+}
+
+// Stats are cumulative counters for a transport.
+type Stats struct {
+	FramesSent uint64
+	BytesSent  uint64
+}
+
+type frame struct {
+	from  int
+	round uint32
+	data  []byte // nil means end-of-round marker
+}
+
+// mailbox is an unbounded FIFO with blocking receive.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []frame
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(f frame) {
+	m.mu.Lock()
+	m.queue = append(m.queue, f)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) pop() frame {
+	m.mu.Lock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	f := m.queue[0]
+	m.queue = m.queue[1:]
+	m.mu.Unlock()
+	return f
+}
+
+// Mem is the default in-process transport: per-worker mailboxes. It models
+// the MPI wire with zero copies beyond the frame slices themselves.
+type Mem struct {
+	m      int
+	boxes  []*mailbox
+	rounds []atomic.Uint32 // per-sender current round
+	recvRd []uint32        // per-receiver current round (single-threaded use)
+	stash  [][]frame       // per-receiver frames for future rounds
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// NewMem creates an in-memory transport for m workers.
+func NewMem(m int) *Mem {
+	t := &Mem{
+		m:      m,
+		boxes:  make([]*mailbox, m),
+		rounds: make([]atomic.Uint32, m),
+		recvRd: make([]uint32, m),
+		stash:  make([][]frame, m),
+	}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t
+}
+
+func (t *Mem) Workers() int { return t.m }
+
+func (t *Mem) Send(from, to int, data []byte) {
+	if data == nil {
+		data = []byte{} // nil is reserved for end-of-round markers
+	}
+	t.frames.Add(1)
+	t.bytes.Add(uint64(len(data)))
+	t.boxes[to].push(frame{from: from, round: t.rounds[from].Load(), data: data})
+}
+
+func (t *Mem) EndRound(from int) {
+	r := t.rounds[from].Load()
+	for to := 0; to < t.m; to++ {
+		t.boxes[to].push(frame{from: from, round: r, data: nil})
+	}
+	t.rounds[from].Store(r + 1)
+}
+
+func (t *Mem) Drain(to int, h func(from int, data []byte)) {
+	r := t.recvRd[to]
+	pending := t.m // end-of-round markers still expected
+
+	// First serve stashed frames from earlier overruns.
+	if st := t.stash[to]; len(st) > 0 {
+		keep := st[:0]
+		for _, f := range st {
+			if f.round == r {
+				if f.data == nil {
+					pending--
+				} else {
+					h(f.from, f.data)
+				}
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		t.stash[to] = keep
+	}
+	for pending > 0 {
+		f := t.boxes[to].pop()
+		if f.round != r {
+			t.stash[to] = append(t.stash[to], f)
+			continue
+		}
+		if f.data == nil {
+			pending--
+		} else {
+			h(f.from, f.data)
+		}
+	}
+	t.recvRd[to] = r + 1
+}
+
+func (t *Mem) Stats() Stats {
+	return Stats{FramesSent: t.frames.Load(), BytesSent: t.bytes.Load()}
+}
+
+func (t *Mem) Close() error { return nil }

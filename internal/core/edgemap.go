@@ -1,0 +1,281 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"flash/graph"
+	"flash/metrics"
+)
+
+// Callback types for EdgeMap, mirroring the paper's signatures with the edge
+// weight added (unweighted graphs pass 0):
+//
+//	F(s, d, w) bool — edge guard, checked per active edge
+//	M(s, d, w) V    — returns the tentative new value of the target d
+//	C(d) bool       — target pre-condition ("update at most once" helper)
+//	R(t, cur) V     — associative+commutative reduction of a tentative value
+//	                  into the target's accumulated value (push mode only)
+type (
+	EdgeF[V any] func(s, d Vtx[V], w float32) bool
+	EdgeM[V any] func(s, d Vtx[V], w float32) V
+	EdgeC[V any] func(d Vtx[V]) bool
+	EdgeR[V any] func(t V, cur V) V
+)
+
+// EdgeMap is the paper's EDGEMAP: it applies M over the active edges
+// {(s,d) ∈ H | s ∈ U ∧ C(d)} that pass F and returns the subset of updated
+// targets. The propagation mode is chosen by the density rule unless forced
+// by opts.Mode or the engine configuration; a nil R forces pull mode
+// (§III-A).
+func (e *Engine[V]) EdgeMap(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], R EdgeR[V], opts StepOpts) *Subset {
+	e.checkSubset(U)
+	mode := opts.Mode
+	if mode == Auto {
+		mode = e.cfg.Mode
+	}
+	if mode == Auto {
+		switch {
+		case R == nil:
+			mode = Pull
+		case !H.SupportsIn():
+			mode = Push
+		case !H.SupportsOut():
+			mode = Pull
+		default:
+			if e.isDense(U, H) {
+				mode = Pull
+			} else {
+				mode = Push
+			}
+		}
+	}
+	if mode == Pull {
+		return e.EdgeMapDense(U, H, F, M, C, opts)
+	}
+	return e.EdgeMapSparse(U, H, F, M, C, R, opts)
+}
+
+// isDense applies Ligra's density rule: |U| + outDegree(U) > |E|/threshold.
+func (e *Engine[V]) isDense(U *Subset, H EdgeSet[V]) bool {
+	budget := e.g.NumEdges() / e.cfg.DenseThreshold
+	if U.Size() > budget {
+		return true
+	}
+	return U.Size()+e.degreeSum(U, H) > budget
+}
+
+// EdgeMapSparse is the push kernel (paper Algorithm 6 + §IV-A's three-phase
+// distributed procedure): active masters push tentative values along their
+// H-out-edges; per-target partials are reduced locally, shipped to the
+// target's master, reduced again with the current value, applied, and the
+// final values are synchronized back to mirrors. Two exchange rounds.
+func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], R EdgeR[V], opts StepOpts) *Subset {
+	e.checkSubset(U)
+	if R == nil {
+		panic("core: EdgeMapSparse requires a reduce function R")
+	}
+	if !H.SupportsOut() {
+		panic("core: edge set does not support push mode")
+	}
+	if !H.Physical() && !e.cfg.FullMirrors {
+		panic("core: virtual edge sets require Config.FullMirrors (communication beyond neighborhood)")
+	}
+	e.met.Step(U.Size())
+	out := e.newSubset()
+	scope := e.scopeFor(H.Physical(), opts.NoSync)
+	e.parallelWorkers(func(w *worker[V]) {
+		membership := U.local[w.id]
+
+		// Phase 1: push along out-edges, accumulating per-target partials.
+		w.accSet.Reset()
+		w.timeBlock(metrics.Compute, func() {
+			w.forEachMember(membership, U.Size(), func(l int) {
+				u := e.place.GlobalID(w.id, l)
+				uv := w.vtx(u)
+				H.Out(&w.ctx, u, func(d graph.VID, wt float32) bool {
+					dv := w.vtx(d)
+					if C != nil && !C(dv) {
+						return true
+					}
+					if F != nil && !F(uv, dv, wt) {
+						return true
+					}
+					t := M(uv, dv, wt)
+					stripe := &w.stripes[(int(d)>>6)&255]
+					stripe.Lock()
+					if w.accSet.TestAndSet(int(d)) {
+						w.accVal[d] = R(t, w.accVal[d])
+					} else {
+						w.accVal[d] = t
+					}
+					stripe.Unlock()
+					return true
+				})
+			})
+		})
+
+		// Phase 2: route partials to target masters (exchange round 1).
+		w.pendSet.Reset()
+		sstart := time.Now()
+		msgs := 0
+		w.accSet.Range(func(d int) bool {
+			gid := graph.VID(d)
+			o := e.place.Owner(gid)
+			if o == w.id {
+				w.foldPend(e.place.LocalIndex(gid), w.accVal[d], R)
+			} else {
+				w.appendKV(o, gid, &w.accVal[d])
+				msgs++
+			}
+			return true
+		})
+		w.met.Add(metrics.Serialization, time.Since(sstart))
+		w.met.AddTraffic(uint64(msgs), 0)
+		w.flushAll()
+		e.tr.EndRound(w.id)
+		w.drainKV(func(gid graph.VID, val V) {
+			w.foldPend(e.place.LocalIndex(gid), val, R)
+		})
+
+		// Phase 3: masters apply the reduction against current values.
+		outBits := out.local[w.id]
+		w.timeBlock(metrics.Compute, func() {
+			w.pendSet.Range(func(l int) bool {
+				gid := e.place.GlobalID(w.id, l)
+				w.cur[gid] = R(w.pendVal[l], w.cur[gid])
+				outBits.Set(l)
+				return true
+			})
+		})
+
+		// Exchange round 2: broadcast finals to mirrors.
+		if scope != scopeNone {
+			w.syncMasters(w.pendSet, scope)
+		}
+	})
+	out.recount()
+	return out
+}
+
+// foldPend merges an incoming partial for local master l.
+func (w *worker[V]) foldPend(l int, val V, R EdgeR[V]) {
+	if w.pendSet.TestAndSet(l) {
+		w.pendVal[l] = R(val, w.pendVal[l])
+	} else {
+		w.pendVal[l] = val
+	}
+}
+
+// EdgeMapDense is the pull kernel (paper Algorithm 5): after broadcasting
+// the frontier bitmap, every worker scans its own masters' H-in-edges,
+// sequentially applying M for in-neighbors in U until C fails, then
+// synchronizes updated masters. One value-exchange round plus the frontier
+// round.
+func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], opts StepOpts) *Subset {
+	e.checkSubset(U)
+	if !H.SupportsIn() {
+		panic("core: edge set does not support pull mode")
+	}
+	if !H.Physical() && !e.cfg.FullMirrors {
+		panic("core: virtual edge sets require Config.FullMirrors (communication beyond neighborhood)")
+	}
+	e.met.Step(U.Size())
+	out := e.newSubset()
+	scope := e.scopeFor(H.Physical(), opts.NoSync)
+	e.parallelWorkers(func(w *worker[V]) {
+		w.broadcastFrontier(U)
+
+		outBits := out.local[w.id]
+		updated := w.nextSet
+		updated.Reset()
+		w.timeBlock(metrics.Compute, func() {
+			w.parfor(e.place.LocalCount(w.id), func(lo, hi int) {
+				for l := lo; l < hi; l++ {
+					gid := e.place.GlobalID(w.id, l)
+					work := w.cur[gid]
+					dv := w.vtxAt(gid, &work)
+					applied := false
+					H.In(&w.ctx, gid, func(s graph.VID, wt float32) bool {
+						if C != nil && !C(dv) {
+							return false
+						}
+						if !w.frontier.Test(int(s)) {
+							return true
+						}
+						sv := w.vtx(s)
+						if F != nil && !F(sv, dv, wt) {
+							return true
+						}
+						work = M(sv, dv, wt)
+						applied = true
+						return true
+					})
+					if applied {
+						w.next[l] = work
+						updated.Set(l)
+						outBits.Set(l)
+					}
+				}
+			})
+			// Publish next states after local scan completes.
+			updated.Range(func(l int) bool {
+				w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
+				return true
+			})
+		})
+		if scope != scopeNone {
+			w.syncMasters(updated, scope)
+		}
+	})
+	out.recount()
+	return out
+}
+
+// broadcastFrontier shares the members of U with every worker (one exchange
+// round) and materializes them in w.frontier as a global bitmap. Members are
+// encoded as word-spans of a global-position bitmap.
+func (w *worker[V]) broadcastFrontier(U *Subset) {
+	e := w.eng
+	sstart := time.Now()
+	w.frontier.Reset()
+	U.local[w.id].Range(func(l int) bool {
+		w.frontier.Set(int(e.place.GlobalID(w.id, l)))
+		return true
+	})
+	words := w.frontier.Words()
+	lo, hi := 0, len(words)
+	for lo < hi && words[lo] == 0 {
+		lo++
+	}
+	for hi > lo && words[hi-1] == 0 {
+		hi--
+	}
+	if hi > lo {
+		payload := make([]byte, 4+8*(hi-lo))
+		binary.LittleEndian.PutUint32(payload, uint32(lo))
+		for i, wd := range words[lo:hi] {
+			binary.LittleEndian.PutUint64(payload[4+8*i:], wd)
+		}
+		for to := 0; to < e.cfg.Workers; to++ {
+			if to != w.id {
+				e.tr.Send(w.id, to, payload)
+			}
+		}
+		w.met.AddTraffic(uint64(e.cfg.Workers-1), 0)
+	}
+	w.met.Add(metrics.Serialization, time.Since(sstart))
+	e.tr.EndRound(w.id)
+	cstart := time.Now()
+	e.tr.Drain(w.id, func(_ int, data []byte) {
+		if len(data) < 4 || (len(data)-4)%8 != 0 {
+			panic(fmt.Sprintf("core: bad frontier frame of %d bytes", len(data)))
+		}
+		off := int(binary.LittleEndian.Uint32(data))
+		for i := 0; i < (len(data)-4)/8; i++ {
+			words[off+i] |= binary.LittleEndian.Uint64(data[4+8*i:])
+		}
+	})
+	w.met.Add(metrics.Communication, time.Since(cstart))
+}

@@ -1,0 +1,364 @@
+// Package core implements FLASHWARE, the paper's middleware for distributed
+// graph processing (§IV): per-worker master–mirror state with
+// current/next-state semantics, the dense (pull) and sparse (push) EDGEMAP
+// kernels with automatic mode switching, VERTEXMAP, mirror synchronization
+// restricted to necessary mirrors or critical steps, and the exchange
+// protocol layered on comm.Transport.
+//
+// The public `flash` package at the module root wraps this engine with the
+// paper-shaped API; algorithms should not import core directly.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flash/graph"
+	"flash/internal/bitset"
+	"flash/internal/comm"
+	"flash/internal/partition"
+	"flash/metrics"
+)
+
+// Mode selects the update-propagation kernel for an EdgeMap.
+type Mode int
+
+const (
+	// Auto picks push or pull per step from frontier density (§III-C).
+	Auto Mode = iota
+	// Push forces EDGEMAPSPARSE.
+	Push
+	// Pull forces EDGEMAPDENSE.
+	Pull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of simulated workers ("processes"); default 4.
+	Workers int
+	// Threads is the number of parallel threads per worker; default 1.
+	Threads int
+	// Transport carries inter-worker frames; default comm.NewMem(Workers).
+	Transport comm.Transport
+	// UseTCP builds a loopback-TCP transport when Transport is nil.
+	UseTCP bool
+	// UseHashPlacement selects modulo placement instead of contiguous
+	// ranges.
+	UseHashPlacement bool
+	// Mode forces a propagation mode for all EdgeMaps (default Auto).
+	Mode Mode
+	// DenseThreshold is Ligra's density denominator: a frontier is dense
+	// when |U| + outDegree(U) > |E|/DenseThreshold. Default 20.
+	DenseThreshold int
+	// FullMirrors replicates every vertex on every worker and broadcasts all
+	// master updates. Required by algorithms that communicate beyond the
+	// neighborhood (virtual edge sets, arbitrary get), per §IV-C.
+	FullMirrors bool
+	// DisableNecessaryMirrors broadcasts every sync to all workers even when
+	// mirror lists are available (ablation toggle for §IV-C).
+	DisableNecessaryMirrors bool
+	// BatchBytes, when positive, flushes outgoing buffers eagerly once they
+	// exceed this size so transfer overlaps the remaining work (§IV-C,
+	// "Overlap communication with computation"). Zero sends only at round
+	// end.
+	BatchBytes int
+	// Collector receives runtime metrics; nil allocates a private one.
+	Collector *metrics.Collector
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.DenseThreshold == 0 {
+		c.DenseThreshold = 20
+	}
+	if c.Collector == nil {
+		c.Collector = metrics.New()
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("core: Workers must be >= 1, got %d", c.Workers)
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("core: Threads must be >= 1, got %d", c.Threads)
+	}
+	if c.Transport != nil && c.Transport.Workers() != c.Workers {
+		return fmt.Errorf("core: transport has %d workers, config has %d",
+			c.Transport.Workers(), c.Workers)
+	}
+	if c.DenseThreshold < 1 {
+		return fmt.Errorf("core: DenseThreshold must be >= 1, got %d", c.DenseThreshold)
+	}
+	if c.BatchBytes < 0 {
+		return fmt.Errorf("core: BatchBytes must be >= 0, got %d", c.BatchBytes)
+	}
+	return nil
+}
+
+// Vtx is the vertex view passed to user callbacks: the id, the degrees in
+// the base graph, and a pointer to the property value the callback may read
+// (and, for VertexMap map functions, write).
+type Vtx[V any] struct {
+	ID    graph.VID
+	Deg   uint32 // out-degree in G
+	InDeg uint32 // in-degree in G
+	Val   *V
+}
+
+// Engine is one FLASHWARE instance: a graph partitioned over Workers
+// workers, each holding property state for its masters and mirrors.
+type Engine[V any] struct {
+	g     *graph.Graph
+	part  *partition.Partitioned
+	place partition.Placement
+	tr    comm.Transport
+	codec comm.Codec[V]
+	cfg   Config
+	met   *metrics.Collector
+
+	workers []*worker[V]
+	closed  bool
+}
+
+// worker is the per-worker state ("process memory").
+type worker[V any] struct {
+	id   int
+	eng  *Engine[V]
+	part *partition.Part
+
+	// cur holds the current states (§IV-A) indexed by global id; only the
+	// slots of local masters and local mirrors are meaningful.
+	cur []V
+
+	// next holds next states for local masters (by local index), created
+	// lazily per superstep; nextSet marks which are populated.
+	next    []V
+	nextSet *bitset.Bitset
+
+	// Sparse-kernel accumulators over the global id space, reused across
+	// steps: accSet marks targets with a pending partial update in accVal.
+	accVal []V
+	accSet *bitset.Bitset
+	// stripes serialize concurrent accumulator updates; striped by bitset
+	// word so Test/Set on the same word are also serialized.
+	stripes [256]sync.Mutex
+
+	// pend* accumulate partial updates arriving at this master (by local
+	// index) during the sparse exchange.
+	pendVal []V
+	pendSet *bitset.Bitset
+
+	// frontier is this worker's copy of the global frontier bitmap used by
+	// the dense kernel.
+	frontier *bitset.Bitset
+
+	// outBufs are per-destination encode buffers for the current round.
+	outBufs [][]byte
+
+	met *metrics.Collector
+	ctx Ctx[V]
+}
+
+// NewEngine partitions g and allocates per-worker state.
+func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		if cfg.UseTCP {
+			var err error
+			tr, err = comm.NewTCP(cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			tr = comm.NewMem(cfg.Workers)
+		}
+	}
+	var place partition.Placement
+	if cfg.UseHashPlacement {
+		place = partition.NewHash(g.NumVertices(), cfg.Workers)
+	} else {
+		place = partition.NewRange(g.NumVertices(), cfg.Workers)
+	}
+	part := partition.New(g, place)
+	e := &Engine[V]{
+		g:     g,
+		part:  part,
+		place: place,
+		tr:    tr,
+		codec: comm.CodecFor[V](),
+		cfg:   cfg,
+		met:   cfg.Collector,
+	}
+	n := g.NumVertices()
+	e.workers = make([]*worker[V], cfg.Workers)
+	for wi := range e.workers {
+		w := &worker[V]{
+			id:       wi,
+			eng:      e,
+			part:     part.Parts[wi],
+			cur:      make([]V, n),
+			next:     make([]V, place.LocalCount(wi)),
+			nextSet:  bitset.New(place.LocalCount(wi)),
+			accVal:   make([]V, n),
+			accSet:   bitset.New(n),
+			pendVal:  make([]V, place.LocalCount(wi)),
+			pendSet:  bitset.New(place.LocalCount(wi)),
+			frontier: bitset.New(n),
+			outBufs:  make([][]byte, cfg.Workers),
+			met:      metrics.New(),
+		}
+		w.ctx = Ctx[V]{G: g, w: w}
+		e.workers[wi] = w
+	}
+	return e, nil
+}
+
+// Graph returns the underlying topology.
+func (e *Engine[V]) Graph() *graph.Graph { return e.g }
+
+// Workers returns the configured worker count.
+func (e *Engine[V]) Workers() int { return e.cfg.Workers }
+
+// Metrics returns the engine's metrics collector.
+func (e *Engine[V]) Metrics() *metrics.Collector { return e.met }
+
+// Config returns the engine's effective configuration.
+func (e *Engine[V]) Config() Config { return e.cfg }
+
+// ReplicationFactor exposes the partition quality metric.
+func (e *Engine[V]) ReplicationFactor() float64 { return e.part.ReplicationFactor() }
+
+// Close releases the transport. The engine must not be used afterwards.
+func (e *Engine[V]) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.tr.Close()
+}
+
+// parallelWorkers runs f once per worker concurrently and waits; it then
+// folds worker metric shards into the engine collector.
+func (e *Engine[V]) parallelWorkers(f func(w *worker[V])) {
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f(w)
+		}()
+	}
+	wg.Wait()
+	for _, w := range e.workers {
+		e.met.Merge(w.met)
+		w.met.Reset()
+	}
+}
+
+// parfor splits [0, total) into 64-aligned chunks over the worker's threads
+// and runs them concurrently. Alignment guarantees concurrent bitset writes
+// on disjoint chunks never touch the same word.
+func (w *worker[V]) parfor(total int, f func(lo, hi int)) {
+	threads := w.eng.cfg.Threads
+	if threads == 1 || total < 128 {
+		f(0, total)
+		return
+	}
+	chunk := (total + threads - 1) / threads
+	chunk = (chunk + 63) &^ 63
+	var wg sync.WaitGroup
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// forEachMember visits the local indices in membership, choosing between a
+// thread-parallel full scan (dense frontiers) and a sequential bit-walk
+// (sparse frontiers, avoiding the O(localCount) scan).
+func (w *worker[V]) forEachMember(membership *bitset.Bitset, count int, f func(l int)) {
+	if count*16 < membership.Cap() || w.eng.cfg.Threads == 1 {
+		membership.Range(func(l int) bool {
+			f(l)
+			return true
+		})
+		return
+	}
+	w.parfor(membership.Cap(), func(lo, hi int) {
+		for l := lo; l < hi; l++ {
+			if membership.Test(l) {
+				f(l)
+			}
+		}
+	})
+}
+
+// vtx builds the callback view for v using this worker's current states.
+func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
+	return Vtx[V]{
+		ID:    v,
+		Deg:   uint32(w.eng.g.OutDegree(v)),
+		InDeg: uint32(w.eng.g.InDegree(v)),
+		Val:   &w.cur[v],
+	}
+}
+
+// vtxAt is like vtx but points Val at an explicit working copy.
+func (w *worker[V]) vtxAt(v graph.VID, val *V) Vtx[V] {
+	x := w.vtx(v)
+	x.Val = val
+	return x
+}
+
+// Ctx gives EdgeSet implementations read access to current states.
+type Ctx[V any] struct {
+	G *graph.Graph
+	w *worker[V]
+}
+
+// Get returns a read-only pointer to v's current state as seen by this
+// worker. Valid for local masters and mirrors; with FullMirrors every vertex
+// is valid.
+func (c *Ctx[V]) Get(v graph.VID) *V { return &c.w.cur[v] }
+
+// Worker returns the worker id the context belongs to.
+func (c *Ctx[V]) Worker() int { return c.w.id }
+
+// timeBlock measures a closure into the worker's metric shard.
+func (w *worker[V]) timeBlock(cat metrics.Category, f func()) {
+	start := time.Now()
+	f()
+	w.met.Add(cat, time.Since(start))
+}

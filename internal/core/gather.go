@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"flash/graph"
+)
+
+// Get returns v's current state as held by its master. It is FLASHWARE's
+// get(id) for driver-side result extraction and for algorithms that read
+// arbitrary vertices between supersteps (requires FullMirrors only when
+// called from inside step callbacks via Ctx; this driver-side form is always
+// exact).
+func (e *Engine[V]) Get(v graph.VID) V {
+	e.checkVertex(v)
+	return e.workers[e.place.Owner(v)].cur[v]
+}
+
+// Set overwrites v's state on its master and on every worker currently
+// holding a mirror of it. It runs between supersteps (driver-side) and is
+// intended for seeding initial values cheaper than a VertexMap.
+func (e *Engine[V]) Set(v graph.VID, val V) {
+	e.checkVertex(v)
+	for _, w := range e.workers {
+		if w.id == e.place.Owner(v) || w.part.Mirrors.Test(int(v)) || e.cfg.FullMirrors {
+			w.cur[v] = val
+		}
+	}
+}
+
+// Gather calls f for every vertex in ascending id order with the master's
+// current state. Driver-side.
+func (e *Engine[V]) Gather(f func(v graph.VID, val *V)) {
+	for v := 0; v < e.g.NumVertices(); v++ {
+		gid := graph.VID(v)
+		f(gid, &e.workers[e.place.Owner(gid)].cur[gid])
+	}
+}
+
+// Fold accumulates a driver-side reduction over all masters' states.
+func Fold[V, T any](e *Engine[V], init T, f func(acc T, v graph.VID, val *V) T) T {
+	acc := init
+	e.Gather(func(v graph.VID, val *V) {
+		acc = f(acc, v, val)
+	})
+	return acc
+}
+
+// CheckMirrorCoherence verifies that every mirror equals its master's state
+// according to eq. Tests call it after supersteps to assert the §IV-A
+// consistency invariant ("the current states of a vertex are ensured to be
+// consistent on all workers who access it").
+func (e *Engine[V]) CheckMirrorCoherence(eq func(a, b V) bool) error {
+	for _, w := range e.workers {
+		var err error
+		w.part.Mirrors.Range(func(v int) bool {
+			master := e.Get(graph.VID(v))
+			if !eq(w.cur[v], master) {
+				err = &CoherenceError{Worker: w.id, Vertex: graph.VID(v)}
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CoherenceError reports a mirror that diverged from its master.
+type CoherenceError struct {
+	Worker int
+	Vertex graph.VID
+}
+
+func (e *CoherenceError) Error() string {
+	return fmt.Sprintf("core: mirror of vertex %d on worker %d diverged from master", e.Vertex, e.Worker)
+}

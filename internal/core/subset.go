@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"flash/graph"
+	"flash/internal/bitset"
+)
+
+// Subset is the paper's vertexSubset: a distributed set of vertex ids. Each
+// worker holds the members among its masters as a bitset over local indices
+// (§IV-A, "a worker simply maintains a set of vertex ids, representing the
+// master vertices in the set that locate on it").
+type Subset struct {
+	owner anyEngine
+	local []*bitset.Bitset
+	count int
+}
+
+// anyEngine lets Subset validate that handles are not mixed across engines
+// without making Subset generic.
+type anyEngine interface{ engineTag() }
+
+func (e *Engine[V]) engineTag() {}
+
+func (e *Engine[V]) newSubset() *Subset {
+	s := &Subset{owner: e, local: make([]*bitset.Bitset, e.cfg.Workers)}
+	for w := 0; w < e.cfg.Workers; w++ {
+		s.local[w] = bitset.New(e.place.LocalCount(w))
+	}
+	return s
+}
+
+func (e *Engine[V]) checkSubset(s *Subset) {
+	if s.owner != anyEngine(e) {
+		panic("core: vertexSubset used with a different engine")
+	}
+}
+
+// recount refreshes the cached cardinality.
+func (s *Subset) recount() {
+	c := 0
+	for _, b := range s.local {
+		c += b.Count()
+	}
+	s.count = c
+}
+
+// Size returns |U| (the paper's SIZE primitive).
+func (s *Subset) Size() int { return s.count }
+
+// Contains reports membership of v.
+func (e *Engine[V]) Contains(s *Subset, v graph.VID) bool {
+	e.checkSubset(s)
+	e.checkVertex(v)
+	w := e.place.Owner(v)
+	return s.local[w].Test(e.place.LocalIndex(v))
+}
+
+// Add inserts v (the paper's ADD auxiliary operator).
+func (e *Engine[V]) Add(s *Subset, v graph.VID) {
+	e.checkSubset(s)
+	e.checkVertex(v)
+	w := e.place.Owner(v)
+	if !s.local[w].TestAndSet(e.place.LocalIndex(v)) {
+		s.count++
+	}
+}
+
+func (e *Engine[V]) checkVertex(v graph.VID) {
+	if int(v) >= e.g.NumVertices() {
+		panic(fmt.Sprintf("core: vertex %d out of range [0,%d)", v, e.g.NumVertices()))
+	}
+}
+
+// All returns the subset containing every vertex.
+func (e *Engine[V]) All() *Subset {
+	s := e.newSubset()
+	for _, b := range s.local {
+		b.Fill()
+	}
+	s.count = e.g.NumVertices()
+	return s
+}
+
+// Empty returns the empty subset.
+func (e *Engine[V]) Empty() *Subset { return e.newSubset() }
+
+// FromIDs builds a subset from explicit ids.
+func (e *Engine[V]) FromIDs(ids ...graph.VID) *Subset {
+	s := e.newSubset()
+	for _, v := range ids {
+		e.Add(s, v)
+	}
+	return s
+}
+
+// Union returns a ∪ b (paper's UNION).
+func (e *Engine[V]) Union(a, b *Subset) *Subset {
+	e.checkSubset(a)
+	e.checkSubset(b)
+	out := e.newSubset()
+	for w := range out.local {
+		out.local[w].CopyFrom(a.local[w])
+		out.local[w].Union(b.local[w])
+	}
+	out.recount()
+	return out
+}
+
+// Minus returns a \ b (paper's MINUS).
+func (e *Engine[V]) Minus(a, b *Subset) *Subset {
+	e.checkSubset(a)
+	e.checkSubset(b)
+	out := e.newSubset()
+	for w := range out.local {
+		out.local[w].CopyFrom(a.local[w])
+		out.local[w].Minus(b.local[w])
+	}
+	out.recount()
+	return out
+}
+
+// Intersect returns a ∩ b (paper's INTERSACT).
+func (e *Engine[V]) Intersect(a, b *Subset) *Subset {
+	e.checkSubset(a)
+	e.checkSubset(b)
+	out := e.newSubset()
+	for w := range out.local {
+		out.local[w].CopyFrom(a.local[w])
+		out.local[w].Intersect(b.local[w])
+	}
+	out.recount()
+	return out
+}
+
+// IDs returns all member ids in ascending order (driver-side; intended for
+// result extraction and tests).
+func (e *Engine[V]) IDs(s *Subset) []graph.VID {
+	e.checkSubset(s)
+	out := make([]graph.VID, 0, s.count)
+	for v := 0; v < e.g.NumVertices(); v++ {
+		if e.Contains(s, graph.VID(v)) {
+			out = append(out, graph.VID(v))
+		}
+	}
+	return out
+}
+
+// degreeSum computes Σ outDegreeHint over the members, used by the density
+// rule. Runs worker-parallel.
+func (e *Engine[V]) degreeSum(s *Subset, h EdgeSet[V]) int {
+	sums := make([]int, e.cfg.Workers)
+	e.parallelWorkers(func(w *worker[V]) {
+		total := 0
+		s.local[w.id].Range(func(l int) bool {
+			total += h.OutDegreeHint(&w.ctx, e.place.GlobalID(w.id, l))
+			return true
+		})
+		sums[w.id] = total
+	})
+	total := 0
+	for _, x := range sums {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"flash/graph"
+	"flash/internal/bitset"
+	"flash/metrics"
+)
+
+// syncScope selects how far a master update propagates.
+type syncScope int
+
+const (
+	// scopeNone skips synchronization entirely (non-critical updates).
+	scopeNone syncScope = iota
+	// scopeNecessary sends to the precomputed mirror-holder workers only.
+	scopeNecessary
+	// scopeBroadcast sends to every other worker (virtual edge sets /
+	// FullMirrors / ablation).
+	scopeBroadcast
+)
+
+// scopeFor picks the sync scope for a step over edge set physicality.
+func (e *Engine[V]) scopeFor(physical bool, noSync bool) syncScope {
+	switch {
+	case noSync:
+		return scopeNone
+	case e.cfg.FullMirrors, e.cfg.DisableNecessaryMirrors, !physical:
+		return scopeBroadcast
+	default:
+		return scopeNecessary
+	}
+}
+
+// appendKV encodes (gid, *val) into the buffer for `to`, flushing eagerly
+// when BatchBytes is exceeded so transfer overlaps remaining work.
+func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) {
+	buf := w.outBufs[to]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(gid))
+	buf = w.eng.codec.Append(buf, val)
+	if bb := w.eng.cfg.BatchBytes; bb > 0 && len(buf) >= bb {
+		w.eng.tr.Send(w.id, to, buf)
+		buf = nil
+	}
+	w.outBufs[to] = buf
+}
+
+// flushAll sends every non-empty buffer.
+func (w *worker[V]) flushAll() {
+	for to, buf := range w.outBufs {
+		if len(buf) > 0 {
+			w.eng.tr.Send(w.id, to, buf)
+			w.outBufs[to] = nil
+		}
+	}
+}
+
+// drainKV completes the current exchange round, decoding (gid, value) pairs
+// and handing them to apply. Wall time waiting on peers is recorded as
+// communication; decode time as serialization.
+func (w *worker[V]) drainKV(apply func(gid graph.VID, val V)) {
+	var decode time.Duration
+	start := time.Now()
+	w.eng.tr.Drain(w.id, func(_ int, data []byte) {
+		dstart := time.Now()
+		off := 0
+		for off < len(data) {
+			if len(data)-off < 4 {
+				panic("core: truncated sync frame header")
+			}
+			gid := graph.VID(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			var val V
+			n, err := w.eng.codec.Decode(data[off:], &val)
+			if err != nil {
+				panic("core: corrupt sync frame: " + err.Error())
+			}
+			off += n
+			apply(gid, val)
+		}
+		decode += time.Since(dstart)
+	})
+	w.met.Add(metrics.Communication, time.Since(start)-decode)
+	w.met.Add(metrics.Serialization, decode)
+}
+
+// syncMasters pushes the new values of the updated local masters to the
+// workers holding their mirrors (one exchange round), and applies incoming
+// values from other masters to local mirrors. Must be called by every worker
+// of the engine with the same scope, even when a worker updated nothing.
+func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) {
+	e := w.eng
+	if scope != scopeNone {
+		sstart := time.Now()
+		msgs := 0
+		updated.Range(func(l int) bool {
+			gid := e.place.GlobalID(w.id, l)
+			if scope == scopeBroadcast {
+				for to := 0; to < e.cfg.Workers; to++ {
+					if to != w.id {
+						w.appendKV(to, gid, &w.cur[gid])
+						msgs++
+					}
+				}
+			} else {
+				for _, to := range w.part.MirrorWorkers[l] {
+					w.appendKV(to, gid, &w.cur[gid])
+					msgs++
+				}
+			}
+			return true
+		})
+		w.met.Add(metrics.Serialization, time.Since(sstart))
+		w.met.AddTraffic(uint64(msgs), 0)
+	}
+	w.flushAll()
+	e.tr.EndRound(w.id)
+	w.drainKV(func(gid graph.VID, val V) {
+		w.cur[gid] = val
+	})
+}

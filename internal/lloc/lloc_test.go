@@ -1,0 +1,82 @@
+package lloc
+
+import "testing"
+
+func TestCountSource(t *testing.T) {
+	src := []byte(`package x
+
+// comment lines don't count
+import "fmt"
+
+type S struct{ A int } // data structure definitions don't count
+
+func F(a int) int {
+	// a comment
+	b := a + 1
+
+	if b > 2 {
+		b++
+	} else {
+		b--
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Println(i)
+	}
+	switch b {
+	case 1:
+		b = 0
+	default:
+		b = 9
+	}
+	return b
+}
+
+func G() {}
+`)
+	rep, err := CountSource("x.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Funcs) != 2 {
+		t.Fatalf("funcs: %+v", rep.Funcs)
+	}
+	// F: sig(1) + assign(1) + if(1)+inc(1)+dec(1) + for(1)+call(1) +
+	// switch(1)+2 cases(2)+2 bodies(2) + return(1) = 13
+	var f, g int
+	for _, fc := range rep.Funcs {
+		switch fc.Name {
+		case "F":
+			f = fc.Lines
+		case "G":
+			g = fc.Lines
+		}
+	}
+	if f != 13 {
+		t.Fatalf("F lines = %d, want 13", f)
+	}
+	if g != 1 {
+		t.Fatalf("G lines = %d, want 1", g)
+	}
+	if rep.Total != 14 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+}
+
+func TestCountFileErrors(t *testing.T) {
+	if _, err := CountFile("/nonexistent.go"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := CountSource("bad.go", []byte("not go code")); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestCountRealAlgorithm(t *testing.T) {
+	rep, err := CountFile("../../algo/bfs.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total < 10 || rep.Total > 60 {
+		t.Fatalf("BFS LLoC = %d out of plausible range", rep.Total)
+	}
+}

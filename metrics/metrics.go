@@ -1,0 +1,164 @@
+// Package metrics collects the runtime measurements the paper's evaluation
+// reports: a piecewise breakdown of execution time (computation,
+// communication incl. waiting, serialization, other; §V-E), message/byte
+// counters, and the per-iteration active-vertex trace used by Fig. 4(a).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Category labels one slice of the execution-time breakdown.
+type Category int
+
+const (
+	Compute Category = iota
+	Communication
+	Serialization
+	Other
+	numCategories
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case Compute:
+		return "computation"
+	case Communication:
+		return "communication"
+	case Serialization:
+		return "serialization"
+	case Other:
+		return "other"
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Collector accumulates measurements for one run. Worker threads record into
+// private shards; Merge folds shards together. The zero value is unusable;
+// call New.
+type Collector struct {
+	mu         sync.Mutex
+	durations  [numCategories]time.Duration
+	Supersteps int
+	Messages   uint64
+	Bytes      uint64
+	// Frontier[i] is the number of active vertices entering superstep i.
+	Frontier []int
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Add records d under category c.
+func (col *Collector) Add(c Category, d time.Duration) {
+	col.mu.Lock()
+	col.durations[c] += d
+	col.mu.Unlock()
+}
+
+// Time runs f and records its wall time under c.
+func (col *Collector) Time(c Category, f func()) {
+	start := time.Now()
+	f()
+	col.Add(c, time.Since(start))
+}
+
+// AddTraffic records message and byte counts.
+func (col *Collector) AddTraffic(messages, bytes uint64) {
+	col.mu.Lock()
+	col.Messages += messages
+	col.Bytes += bytes
+	col.mu.Unlock()
+}
+
+// Step records one superstep with the given entering frontier size.
+func (col *Collector) Step(frontier int) {
+	col.mu.Lock()
+	col.Supersteps++
+	col.Frontier = append(col.Frontier, frontier)
+	col.mu.Unlock()
+}
+
+// Duration returns the accumulated time for c.
+func (col *Collector) Duration(c Category) time.Duration {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	return col.durations[c]
+}
+
+// Total returns the sum over all categories.
+func (col *Collector) Total() time.Duration {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	var t time.Duration
+	for _, d := range col.durations {
+		t += d
+	}
+	return t
+}
+
+// Breakdown returns the per-category shares (0..1). All zeros when nothing
+// was recorded.
+func (col *Collector) Breakdown() [4]float64 {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	var total time.Duration
+	for _, d := range col.durations {
+		total += d
+	}
+	var out [4]float64
+	if total == 0 {
+		return out
+	}
+	for i, d := range col.durations {
+		out[i] = float64(d) / float64(total)
+	}
+	return out
+}
+
+// Merge folds other into col.
+func (col *Collector) Merge(other *Collector) {
+	other.mu.Lock()
+	durs := other.durations
+	msgs, bytes := other.Messages, other.Bytes
+	steps := other.Supersteps
+	frontier := append([]int(nil), other.Frontier...)
+	other.mu.Unlock()
+
+	col.mu.Lock()
+	for i := range durs {
+		col.durations[i] += durs[i]
+	}
+	col.Messages += msgs
+	col.Bytes += bytes
+	col.Supersteps += steps
+	col.Frontier = append(col.Frontier, frontier...)
+	col.mu.Unlock()
+}
+
+// Reset clears all measurements.
+func (col *Collector) Reset() {
+	col.mu.Lock()
+	col.durations = [numCategories]time.Duration{}
+	col.Supersteps = 0
+	col.Messages = 0
+	col.Bytes = 0
+	col.Frontier = col.Frontier[:0]
+	col.mu.Unlock()
+}
+
+// String formats the collector as a one-line report.
+func (col *Collector) String() string {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "steps=%d msgs=%d bytes=%d", col.Supersteps, col.Messages, col.Bytes)
+	for c := Category(0); c < numCategories; c++ {
+		fmt.Fprintf(&sb, " %s=%s", c, col.durations[c].Round(time.Microsecond))
+	}
+	return sb.String()
+}

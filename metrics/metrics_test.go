@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndBreakdown(t *testing.T) {
+	c := New()
+	c.Add(Compute, 3*time.Second)
+	c.Add(Communication, time.Second)
+	if c.Total() != 4*time.Second {
+		t.Fatalf("total %v", c.Total())
+	}
+	bd := c.Breakdown()
+	if bd[Compute] != 0.75 || bd[Communication] != 0.25 {
+		t.Fatalf("breakdown %v", bd)
+	}
+	if bd[Serialization] != 0 || bd[Other] != 0 {
+		t.Fatalf("breakdown %v", bd)
+	}
+}
+
+func TestEmptyBreakdown(t *testing.T) {
+	if bd := New().Breakdown(); bd != [4]float64{} {
+		t.Fatalf("breakdown of empty collector: %v", bd)
+	}
+}
+
+func TestTimeHelper(t *testing.T) {
+	c := New()
+	c.Time(Serialization, func() { time.Sleep(2 * time.Millisecond) })
+	if c.Duration(Serialization) < time.Millisecond {
+		t.Fatalf("Time recorded %v", c.Duration(Serialization))
+	}
+}
+
+func TestStepsAndTraffic(t *testing.T) {
+	c := New()
+	c.Step(10)
+	c.Step(5)
+	c.AddTraffic(3, 300)
+	if c.Supersteps != 2 || len(c.Frontier) != 2 || c.Frontier[1] != 5 {
+		t.Fatalf("steps %d frontier %v", c.Supersteps, c.Frontier)
+	}
+	if c.Messages != 3 || c.Bytes != 300 {
+		t.Fatalf("traffic %d/%d", c.Messages, c.Bytes)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add(Compute, time.Second)
+	a.Step(1)
+	b.Add(Compute, time.Second)
+	b.Add(Other, time.Second)
+	b.AddTraffic(1, 10)
+	a.Merge(b)
+	if a.Duration(Compute) != 2*time.Second || a.Duration(Other) != time.Second {
+		t.Fatalf("merge durations: %v", a)
+	}
+	if a.Messages != 1 || a.Supersteps != 1 {
+		t.Fatalf("merge counters: %v", a)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Add(Compute, time.Second)
+	c.Step(4)
+	c.AddTraffic(1, 1)
+	c.Reset()
+	if c.Total() != 0 || c.Supersteps != 0 || c.Messages != 0 || len(c.Frontier) != 0 {
+		t.Fatalf("reset left state: %v", c)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(Compute, time.Millisecond)
+				c.AddTraffic(1, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Duration(Compute) != 800*time.Millisecond || c.Messages != 800 {
+		t.Fatalf("concurrent adds lost updates: %v", c)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New()
+	c.Step(1)
+	s := c.String()
+	for _, want := range []string{"steps=1", "computation=", "communication=", "serialization=", "other="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if Category(99).String() == "" {
+		t.Fatal("unknown category string empty")
+	}
+}
