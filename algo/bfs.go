@@ -18,6 +18,16 @@ func BFS(g *graph.Graph, root graph.VID, opts ...flash.Option) ([]int32, error) 
 	}
 	defer e.Close()
 
+	out := make([]int32, g.NumVertices())
+	if _, err := e.Run(func() error { return bfsProgram(e, root, out) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bfsProgram is the FLASH driver program proper, run under Engine.Run so
+// transport failures surface as errors (and recovery can replay it).
+func bfsProgram(e *flash.Engine[bfsProps], root graph.VID, out []int32) error {
 	e.VertexMap(e.All(), nil, func(v flash.Vertex[bfsProps]) bfsProps {
 		if v.ID == root {
 			return bfsProps{Dis: 0}
@@ -32,8 +42,6 @@ func BFS(g *graph.Graph, root graph.VID, opts ...flash.Option) ([]int32, error) 
 			func(d flash.Vertex[bfsProps]) bool { return d.Val.Dis == inf32 },
 			func(t, cur bfsProps) bfsProps { return t })
 	}
-
-	out := make([]int32, g.NumVertices())
 	e.Gather(func(v graph.VID, val *bfsProps) {
 		if val.Dis == inf32 {
 			out[v] = -1
@@ -41,5 +49,5 @@ func BFS(g *graph.Graph, root graph.VID, opts ...flash.Option) ([]int32, error) 
 			out[v] = val.Dis
 		}
 	})
-	return out, nil
+	return nil
 }

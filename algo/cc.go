@@ -21,19 +21,23 @@ func CC(g *graph.Graph, opts ...flash.Option) ([]uint32, error) {
 	}
 	defer e.Close()
 
-	u := e.VertexMap(e.All(), nil, func(v flash.Vertex[ccProps]) ccProps {
-		return ccProps{CC: uint32(v.ID)}
-	})
-	for u.Size() != 0 {
-		u = e.EdgeMap(u, e.E(),
-			func(s, d flash.Vertex[ccProps]) bool { return s.Val.CC < d.Val.CC },
-			func(s, d flash.Vertex[ccProps]) ccProps { return ccProps{CC: min32(s.Val.CC, d.Val.CC)} },
-			nil,
-			func(t, cur ccProps) ccProps { return ccProps{CC: min32(t.CC, cur.CC)} })
-	}
-
 	out := make([]uint32, g.NumVertices())
-	e.Gather(func(v graph.VID, val *ccProps) { out[v] = val.CC })
+	if _, err := e.Run(func() error {
+		u := e.VertexMap(e.All(), nil, func(v flash.Vertex[ccProps]) ccProps {
+			return ccProps{CC: uint32(v.ID)}
+		})
+		for u.Size() != 0 {
+			u = e.EdgeMap(u, e.E(),
+				func(s, d flash.Vertex[ccProps]) bool { return s.Val.CC < d.Val.CC },
+				func(s, d flash.Vertex[ccProps]) ccProps { return ccProps{CC: min32(s.Val.CC, d.Val.CC)} },
+				nil,
+				func(t, cur ccProps) ccProps { return ccProps{CC: min32(t.CC, cur.CC)} })
+		}
+		e.Gather(func(v graph.VID, val *ccProps) { out[v] = val.CC })
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

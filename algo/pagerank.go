@@ -24,9 +24,21 @@ func PageRank(g *graph.Graph, maxIters int, eps float64, opts ...flash.Option) (
 
 	n := float64(g.NumVertices())
 	const damping = 0.85
-	e.VertexMap(e.All(), nil, func(v flash.Vertex[prProps]) prProps {
-		return prProps{Rank: 1 / n}
-	})
+	out := make([]float64, g.NumVertices())
+	if _, err := e.Run(func() error {
+		e.VertexMap(e.All(), nil, func(v flash.Vertex[prProps]) prProps {
+			return prProps{Rank: 1 / n}
+		})
+		return prIterate(e, g, maxIters, eps, n, damping)
+	}); err != nil {
+		return nil, err
+	}
+	e.Gather(func(v graph.VID, val *prProps) { out[v] = val.Rank })
+	return out, nil
+}
+
+// prIterate runs the damped power iteration to convergence.
+func prIterate(e *flash.Engine[prProps], g *graph.Graph, maxIters int, eps, n, damping float64) error {
 	for it := 0; it < maxIters; it++ {
 		// Dangling mass of this round, computed on the driver.
 		dangling := e.SumFloat64(func(v graph.VID, val *prProps) float64 {
@@ -63,8 +75,5 @@ func PageRank(g *graph.Graph, maxIters int, eps float64, opts ...flash.Option) (
 			break
 		}
 	}
-
-	out := make([]float64, g.NumVertices())
-	e.Gather(func(v graph.VID, val *prProps) { out[v] = val.Rank })
-	return out, nil
+	return nil
 }

@@ -1,0 +1,128 @@
+// Chaos soak test: the full public stack (algo → flash → core → comm) run
+// under a seeded Faulty transport with connection drops, worker stalls,
+// probabilistic send failures and frame delay/reordering. The runtime must
+// absorb every injected fault through retry and checkpoint recovery and
+// produce results identical to the fault-free run.
+package flash_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"flash"
+	"flash/algo"
+	"flash/graph"
+	"flash/metrics"
+)
+
+// chaosPlan scripts, for a w-worker engine, at least one transient connection
+// drop and one worker stall (the acceptance scenario) plus background
+// probabilistic faults, all seeded for reproducibility.
+func chaosPlan(seed int64, w int) flash.FaultPlan {
+	p := flash.FaultPlan{
+		Seed:         seed,
+		SendFailProb: 0.02,
+		MaxSendFails: 10,
+		DelayProb:    0.2,
+		Reorder:      true,
+	}
+	if w >= 2 {
+		p.Drops = []flash.ConnDrop{{From: 1, To: 0, Round: 2, Count: 2}}
+		p.Stalls = []flash.WorkerStall{{Worker: w - 1, Round: 3, Delay: 250 * time.Millisecond}}
+		p.Crashes = []flash.WorkerCrash{{Worker: 0, Round: 6}}
+	}
+	return p
+}
+
+// chaosOpts arms recovery: frequent checkpoints and a drain timeout that
+// turns the scripted stall into a detectable failure.
+func chaosOpts(w int, seed int64, col *metrics.Collector) []flash.Option {
+	return []flash.Option{
+		flash.WithWorkers(w),
+		flash.WithCollector(col),
+		flash.WithCheckpointEvery(2),
+		flash.WithDrainTimeout(80 * time.Millisecond),
+		flash.WithFaultPlan(chaosPlan(seed, w)),
+	}
+}
+
+func TestChaosBFSAndCCMatchFaultFree(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er":   graph.GenErdosRenyi(200, 900, 5),
+		"rmat": graph.GenRMAT(256, 1024, 6),
+	}
+	for name, g := range graphs {
+		wantDis, err := algo.BFS(g, 0, flash.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCC, err := algo.CC(g, flash.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// testing/quick-style iteration: every (workers, seed) cell runs the
+		// same scripted faults with a different probabilistic-fault stream.
+		for _, w := range []int{1, 2, 3, 4, 8} {
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("%s/w%d/seed%d", name, w, seed), func(t *testing.T) {
+					col := metrics.New()
+					gotDis, err := algo.BFS(g, 0, chaosOpts(w, seed, col)...)
+					if err != nil {
+						t.Fatalf("bfs under chaos: %v", err)
+					}
+					for v := range wantDis {
+						if gotDis[v] != wantDis[v] {
+							t.Fatalf("bfs dist[%d]=%d want %d", v, gotDis[v], wantDis[v])
+						}
+					}
+					gotCC, err := algo.CC(g, chaosOpts(w, seed+100, col)...)
+					if err != nil {
+						t.Fatalf("cc under chaos: %v", err)
+					}
+					for v := range wantCC {
+						if gotCC[v] != wantCC[v] {
+							t.Fatalf("cc label[%d]=%d want %d", v, gotCC[v], wantCC[v])
+						}
+					}
+					if w >= 2 {
+						// The scripted drop must have been absorbed by send
+						// retries and the scripted stall/crash by checkpoint
+						// recovery.
+						if col.Retries == 0 {
+							t.Errorf("no send retries recorded under chaos (%v)", col)
+						}
+						if col.Recoveries == 0 {
+							t.Errorf("no checkpoint recoveries recorded under chaos (%v)", col)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosPageRankBitIdentical verifies float results survive recovery
+// bit-for-bit. Bounded to <=2 workers: with at most one remote partial per
+// target the floating-point reduction order is deterministic, so exact
+// equality is the correct assertion (beyond that, reduction order — not
+// fault handling — perturbs last-bit rounding).
+func TestChaosPageRankBitIdentical(t *testing.T) {
+	g := graph.GenRMAT(200, 800, 9)
+	for _, w := range []int{1, 2} {
+		want, err := algo.PageRank(g, 15, 0, flash.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := metrics.New()
+		got, err := algo.PageRank(g, 15, 0, chaosOpts(w, 4, col)...)
+		if err != nil {
+			t.Fatalf("pagerank under chaos (w=%d): %v", w, err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("w=%d: rank[%d]=%v want %v (not bit-identical)", w, v, got[v], want[v])
+			}
+		}
+	}
+}

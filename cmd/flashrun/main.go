@@ -40,6 +40,14 @@ func main() {
 		iters    = flag.Int("iters", 10, "iterations for lpa/pagerank")
 		directed = flag.Bool("directed", false, "treat input edge list as directed")
 		tcp      = flag.Bool("tcp", false, "use the loopback TCP transport")
+
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint all worker state every n supersteps (0 disables recovery)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "per-round peer stall timeout (0 waits forever)")
+		sendRetries  = flag.Int("send-retries", 0, "transient send retries (0 keeps the default of 4)")
+		chaos        = flag.Bool("chaos", false, "inject seeded transport faults (send failures, delays, reordering)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-injection seed")
+		failProb     = flag.Float64("send-fail-prob", 0.01, "chaos: per-frame transient send-failure probability")
+		delayProb    = flag.Float64("delay-prob", 0.05, "chaos: per-frame delay-to-end-of-round probability")
 	)
 	flag.Parse()
 
@@ -58,6 +66,23 @@ func main() {
 	}
 	if *tcp {
 		opts = append(opts, flash.WithTCP())
+	}
+	if *ckptEvery > 0 {
+		opts = append(opts, flash.WithCheckpointEvery(*ckptEvery))
+	}
+	if *drainTimeout > 0 {
+		opts = append(opts, flash.WithDrainTimeout(*drainTimeout))
+	}
+	if *sendRetries != 0 {
+		opts = append(opts, flash.WithSendRetries(*sendRetries))
+	}
+	if *chaos {
+		opts = append(opts, flash.WithFaultPlan(flash.FaultPlan{
+			Seed:         *chaosSeed,
+			SendFailProb: *failProb,
+			DelayProb:    *delayProb,
+			Reorder:      true,
+		}))
 	}
 
 	start := time.Now()

@@ -29,6 +29,8 @@
 package flash
 
 import (
+	"time"
+
 	"flash/graph"
 	"flash/internal/comm"
 	"flash/internal/core"
@@ -112,6 +114,57 @@ func WithoutNecessaryMirrors() Option {
 // WithCollector directs runtime metrics into col.
 func WithCollector(col *metrics.Collector) Option { return func(c *core.Config) { c.Collector = col } }
 
+// ---- fault tolerance ----
+
+// FaultPlan scripts deterministic fault injection (chaos testing); see
+// WithFaultPlan. Zero value = no faults.
+type FaultPlan = comm.FaultPlan
+
+// ConnDrop scripts a transient connection drop in a FaultPlan.
+type ConnDrop = comm.ConnDrop
+
+// WorkerStall scripts a worker stall in a FaultPlan.
+type WorkerStall = comm.WorkerStall
+
+// WorkerCrash scripts a mid-superstep worker failure in a FaultPlan.
+type WorkerCrash = comm.WorkerCrash
+
+// RunResult summarizes a Run: supersteps executed plus the fault-tolerance
+// counters (checkpoints taken, recoveries performed, sends retried,
+// connections re-established).
+type RunResult = core.RunResult
+
+// WithCheckpointEvery snapshots all worker state every n successful
+// supersteps at the BSP barrier and enables rollback+replay recovery from
+// transport failures (stalls, drops, injected crashes). 0 (the default)
+// disables checkpointing: failures then abort the run.
+func WithCheckpointEvery(n int) Option { return func(c *core.Config) { c.CheckpointEvery = n } }
+
+// WithDrainTimeout bounds how long a worker waits for a peer's next frame
+// within one exchange round before the superstep fails (stall detection).
+// 0 (the default) waits forever.
+func WithDrainTimeout(d time.Duration) Option { return func(c *core.Config) { c.DrainTimeout = d } }
+
+// WithMaxRecoveries bounds checkpoint rollbacks per engine (default 3), so a
+// persistent fault cannot loop forever.
+func WithMaxRecoveries(n int) Option { return func(c *core.Config) { c.MaxRecoveries = n } }
+
+// WithSendRetries sets how many times a transient send failure is retried
+// with exponential backoff before the superstep fails (default 4; negative
+// disables retries).
+func WithSendRetries(n int) Option { return func(c *core.Config) { c.SendRetries = n } }
+
+// WithRetryBackoff sets the initial send-retry backoff (default 500µs),
+// doubling per attempt.
+func WithRetryBackoff(d time.Duration) Option { return func(c *core.Config) { c.RetryBackoff = d } }
+
+// WithFaultPlan wraps the engine's transport with deterministic seeded fault
+// injection: probabilistic send failures and frame delays, within-round
+// reordering, and scripted connection drops, worker stalls, and worker
+// crashes. Combine with WithCheckpointEvery and WithDrainTimeout to exercise
+// the recovery machinery.
+func WithFaultPlan(p FaultPlan) Option { return func(c *core.Config) { c.FaultPlan = &p } }
+
 // Engine runs FLASH programs over one property type V (a flat struct; see
 // comm.Codec for the supported field kinds).
 type Engine[V any] struct {
@@ -149,3 +202,23 @@ func (e *Engine[V]) ReplicationFactor() float64 { return e.c.ReplicationFactor()
 
 // NumVertices returns |V| of the graph.
 func (e *Engine[V]) NumVertices() int { return e.c.Graph().NumVertices() }
+
+// Run executes a FLASH driver program with fault handling engaged: a
+// superstep failure that retry and checkpoint recovery cannot absorb is
+// returned as an error (with all worker goroutines joined and the transport
+// aborted) instead of panicking, along with the run's fault-tolerance
+// counters. Programming errors (mixed-engine subsets, nil reduce in push
+// mode, ...) still panic.
+func (e *Engine[V]) Run(program func() error) (RunResult, error) { return e.c.Run(program) }
+
+// Err returns the first unrecovered superstep failure, or nil. Once failed,
+// the engine refuses further supersteps.
+func (e *Engine[V]) Err() error { return e.c.Err() }
+
+// OnCheckpoint registers hooks for driver-side state (e.g. a DSU) that must
+// be rewound together with engine state on checkpoint recovery: save is
+// called at each checkpoint, and its value is handed back to restore on
+// rollback.
+func (e *Engine[V]) OnCheckpoint(save func() any, restore func(any)) {
+	e.c.OnCheckpoint(save, restore)
+}

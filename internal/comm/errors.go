@@ -1,0 +1,73 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The error taxonomy of the transport layer. Transports never panic on wire
+// conditions: every runtime failure is returned (or delivered through Drain)
+// as one of the errors below so the engine can retry, recover from a
+// checkpoint, or abort the run cleanly.
+var (
+	// ErrPeerStalled reports that Drain waited longer than the configured
+	// drain timeout for the next frame of the current round. It usually means
+	// a peer worker is hung (or an injected stall outlived the timeout).
+	ErrPeerStalled = errors.New("comm: peer stalled (no frame within drain timeout)")
+
+	// ErrAborted is delivered to workers blocked in transport calls when the
+	// round is aborted (another worker failed first). It marks a *secondary*
+	// failure: the root cause is the error that triggered the abort.
+	ErrAborted = errors.New("comm: round aborted")
+
+	// ErrConnDropped marks a send failure caused by a dropped connection.
+	// It is transient: a retry may reconnect.
+	ErrConnDropped = errors.New("comm: connection dropped")
+
+	// ErrFrameTooLarge reports a frame whose length prefix exceeds
+	// MaxFrameSize; the connection is treated as corrupt.
+	ErrFrameTooLarge = errors.New("comm: frame length exceeds MaxFrameSize")
+
+	// ErrTruncated reports a connection torn down in the middle of a frame
+	// (as opposed to a clean close at a frame boundary).
+	ErrTruncated = errors.New("comm: connection closed mid-frame")
+)
+
+// TransientError wraps a failure that is worth retrying with backoff.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return "comm: transient: " + e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient marks err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) is retryable.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// WorkerError attributes a transport failure to one worker.
+type WorkerError struct {
+	Worker int
+	Err    error
+}
+
+func (e *WorkerError) Error() string { return fmt.Sprintf("comm: worker %d: %v", e.Worker, e.Err) }
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// CrashError is surfaced by the Faulty transport when an injected worker
+// failure fires. It is not transient (retrying the send cannot help) but it
+// is recoverable: rolling back to a checkpoint and replaying succeeds because
+// injected crashes are one-shot.
+type CrashError struct{ Worker int }
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("comm: injected crash of worker %d", e.Worker)
+}

@@ -1,0 +1,238 @@
+package comm
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultPlan scripts deterministic fault injection for a Faulty transport.
+// Probabilistic faults draw from per-sender PRNGs seeded with Seed+sender,
+// so a plan replays identically for a fixed per-worker send sequence no
+// matter how worker goroutines interleave. Scripted events (Drops, Stalls,
+// Crashes) are one-shot: once fired they are consumed, which is what makes
+// faults *transient* — a retry or a checkpoint replay runs fault-free.
+type FaultPlan struct {
+	// Seed seeds the per-sender PRNGs for probabilistic faults.
+	Seed int64
+	// SendFailProb is the per-frame probability of a transient send failure
+	// on cross-worker frames (the frame is not delivered; the caller should
+	// retry).
+	SendFailProb float64
+	// MaxSendFails caps the total number of injected probabilistic send
+	// failures (0 = unlimited).
+	MaxSendFails int
+	// DelayProb is the per-frame probability that a cross-worker frame is
+	// held back and delivered at the sender's EndRound instead — delaying it
+	// to the end of the round without violating BSP round boundaries.
+	DelayProb float64
+	// Reorder shuffles the delivery order of held-back frames within each
+	// (sender, round) batch. BSP rounds are order-insensitive across a round,
+	// so a correct engine must tolerate this.
+	Reorder bool
+	// Drops injects transient connection drops: sends on the given edge fail
+	// with ErrConnDropped until Count failures have been served.
+	Drops []ConnDrop
+	// Stalls makes a worker sleep inside EndRound of the given round,
+	// exercising peers' drain-timeout stall detection.
+	Stalls []WorkerStall
+	// Crashes makes a worker's EndRound (or Send) of the given round fail
+	// with CrashError, simulating a mid-superstep worker failure.
+	Crashes []WorkerCrash
+}
+
+// ConnDrop scripts a transient drop of the From→To direction starting at the
+// sender's round Round; the next Count sends fail (Count 0 means 1).
+type ConnDrop struct {
+	From, To int
+	Round    uint32
+	Count    int
+}
+
+// WorkerStall scripts worker Worker sleeping Delay inside EndRound of round
+// Round.
+type WorkerStall struct {
+	Worker int
+	Round  uint32
+	Delay  time.Duration
+}
+
+// WorkerCrash scripts worker Worker failing at round Round.
+type WorkerCrash struct {
+	Worker int
+	Round  uint32
+}
+
+// FaultCounts reports how many faults a Faulty transport has injected.
+type FaultCounts struct {
+	SendFails int
+	Delays    int
+	Drops     int
+	Stalls    int
+	Crashes   int
+}
+
+// Faulty wraps any Transport and injects the faults of a FaultPlan. It is
+// the runtime's test double for a lossy, laggy, crashy wire: every
+// robustness behavior (retry, stall detection, checkpoint recovery) can be
+// exercised deterministically in-process.
+type Faulty struct {
+	inner Transport
+	plan  FaultPlan
+
+	mu      sync.Mutex
+	rng     []*rand.Rand
+	round   []uint32      // per-sender round counter, mirrors inner's rounds
+	held    [][]heldFrame // per-sender frames delayed to EndRound
+	drops   []ConnDrop
+	stalls  []WorkerStall
+	crashes []WorkerCrash
+	counts  FaultCounts
+}
+
+// heldFrame is a delayed frame awaiting delivery at its sender's EndRound.
+type heldFrame struct {
+	to   int
+	data []byte
+}
+
+// NewFaulty wraps inner with the given fault plan.
+func NewFaulty(inner Transport, plan FaultPlan) *Faulty {
+	m := inner.Workers()
+	f := &Faulty{
+		inner: inner,
+		plan:  plan,
+		rng:   make([]*rand.Rand, m),
+		round: make([]uint32, m),
+		held:  make([][]heldFrame, m),
+	}
+	for i := range f.rng {
+		f.rng[i] = rand.New(rand.NewSource(plan.Seed + int64(i)))
+	}
+	f.drops = append([]ConnDrop(nil), plan.Drops...)
+	for i := range f.drops {
+		if f.drops[i].Count == 0 {
+			f.drops[i].Count = 1
+		}
+	}
+	f.stalls = append([]WorkerStall(nil), plan.Stalls...)
+	f.crashes = append([]WorkerCrash(nil), plan.Crashes...)
+	return f
+}
+
+// Counts returns the faults injected so far.
+func (f *Faulty) Counts() FaultCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+func (f *Faulty) Workers() int { return f.inner.Workers() }
+
+// crashLocked consumes a pending crash for (from, round) if one is scripted.
+func (f *Faulty) crashLocked(from int, r uint32) error {
+	for i, c := range f.crashes {
+		if c.Worker == from && c.Round == r {
+			f.crashes = append(f.crashes[:i], f.crashes[i+1:]...)
+			f.counts.Crashes++
+			return &CrashError{Worker: from}
+		}
+	}
+	return nil
+}
+
+func (f *Faulty) Send(from, to int, data []byte) error {
+	if from == to {
+		return f.inner.Send(from, to, data)
+	}
+	f.mu.Lock()
+	r := f.round[from]
+	if err := f.crashLocked(from, r); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	for i := range f.drops {
+		d := &f.drops[i]
+		if d.From == from && d.To == to && r >= d.Round && d.Count > 0 {
+			d.Count--
+			f.counts.Drops++
+			f.mu.Unlock()
+			return Transient(ErrConnDropped)
+		}
+	}
+	rng := f.rng[from]
+	if p := f.plan.SendFailProb; p > 0 && rng.Float64() < p &&
+		(f.plan.MaxSendFails == 0 || f.counts.SendFails < f.plan.MaxSendFails) {
+		f.counts.SendFails++
+		f.mu.Unlock()
+		return Transient(ErrConnDropped)
+	}
+	if p := f.plan.DelayProb; p > 0 && rng.Float64() < p {
+		f.counts.Delays++
+		f.held[from] = append(f.held[from], heldFrame{to: to, data: data})
+		f.mu.Unlock()
+		return nil // delivered at EndRound
+	}
+	f.mu.Unlock()
+	return f.inner.Send(from, to, data)
+}
+
+func (f *Faulty) EndRound(from int) error {
+	f.mu.Lock()
+	r := f.round[from]
+	if err := f.crashLocked(from, r); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	held := f.held[from]
+	f.held[from] = nil
+	if f.plan.Reorder && len(held) > 1 {
+		f.rng[from].Shuffle(len(held), func(i, j int) { held[i], held[j] = held[j], held[i] })
+	}
+	var stall time.Duration
+	for i, s := range f.stalls {
+		if s.Worker == from && s.Round == r {
+			stall = s.Delay
+			f.stalls = append(f.stalls[:i], f.stalls[i+1:]...)
+			f.counts.Stalls++
+			break
+		}
+	}
+	f.round[from] = r + 1
+	f.mu.Unlock()
+
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	// Flush held frames before the marker so the round stays complete.
+	for _, h := range held {
+		if err := f.inner.Send(from, h.to, h.data); err != nil {
+			return err
+		}
+	}
+	return f.inner.EndRound(from)
+}
+
+func (f *Faulty) Drain(to int, h func(from int, data []byte)) error {
+	return f.inner.Drain(to, h)
+}
+
+func (f *Faulty) Abort(err error) { f.inner.Abort(err) }
+
+func (f *Faulty) Reset() {
+	f.mu.Lock()
+	for i := range f.round {
+		f.round[i] = 0
+		f.held[i] = nil
+	}
+	// Scripted events stay consumed and PRNG state advances monotonically:
+	// a post-recovery replay must not re-fire the fault that triggered it.
+	f.mu.Unlock()
+	f.inner.Reset()
+}
+
+func (f *Faulty) SetDrainTimeout(d time.Duration) { f.inner.SetDrainTimeout(d) }
+
+func (f *Faulty) Stats() Stats { return f.inner.Stats() }
+
+func (f *Faulty) Close() error { return f.inner.Close() }

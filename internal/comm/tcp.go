@@ -3,11 +3,30 @@ package comm
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// MaxFrameSize bounds the payload length accepted off the wire. A corrupt
+// 4-byte length prefix must not drive frame allocation to 4 GiB (mirrors the
+// codec's fuzz hardening); anything larger than this is treated as a corrupt
+// connection.
+const MaxFrameSize = 1 << 26 // 64 MiB
+
+// Retry policy for transient write failures.
+const (
+	tcpMaxRetries  = 5
+	tcpBackoffBase = time.Millisecond
+	tcpBackoffCap  = 50 * time.Millisecond
+)
+
+// tcpDial is swapped by tests to inject dial failures.
+var tcpDial = net.Dial
 
 // TCP is a loopback-socket transport: every worker pair is connected with a
 // real TCP connection and frames are length-prefixed on the wire. It is the
@@ -17,25 +36,45 @@ import (
 //
 // Wire format per frame: round uint32 | flag byte (0 data, 1 end-of-round) |
 // length uint32 | payload. The sender id is implicit per connection.
+//
+// Robustness: transient write failures are retried with capped exponential
+// backoff, and a dropped connection is redialed (the peer's accept loop
+// stays alive for the lifetime of the transport, so either side can
+// re-establish the pair). Frames buffered but not yet flushed when a
+// connection dies may be lost — the engine's checkpoint recovery, not the
+// transport, owns exactly-once semantics. Read-side violations (oversized
+// length prefix, mid-frame truncation) poison the receiving worker's
+// mailbox, so its next Drain reports the corrupt connection instead of
+// deadlocking, and are also published on Err for diagnosis.
 type TCP struct {
 	m     int
 	hub   *Mem // mailboxes, stash and drain logic are shared with Mem
 	conns [][]*tcpConn
 	lns   []net.Listener
 
+	reconnects atomic.Uint64
+	errs       chan error
+	setupDone  atomic.Bool
+	closed     atomic.Bool
+
 	closeOnce sync.Once
 	closeErr  error
 }
 
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	mu    sync.Mutex
+	c     net.Conn
+	w     *bufio.Writer
+	addr  string // peer's listener address, for reconnects
+	hello [4]byte
 }
 
 func (tc *tcpConn) writeFrame(round uint32, flag byte, data []byte) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if tc.c == nil {
+		return ErrConnDropped
+	}
 	var hdr [9]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], round)
 	hdr[4] = flag
@@ -52,9 +91,23 @@ func (tc *tcpConn) writeFrame(round uint32, flag byte, data []byte) error {
 	return nil
 }
 
-// NewTCP builds a full mesh of loopback connections among m workers.
+// replace installs a new socket, closing the previous one.
+func (tc *tcpConn) replace(c net.Conn) {
+	tc.mu.Lock()
+	if tc.c != nil {
+		tc.c.Close()
+	}
+	tc.c = c
+	tc.w = bufio.NewWriterSize(c, 1<<16)
+	tc.mu.Unlock()
+}
+
+// NewTCP builds a full mesh of loopback connections among m workers. A
+// failed dial fails fast: the listeners are closed so the accept loops
+// cannot block setup, and the error is returned (regression: this used to
+// deadlock in wg.Wait).
 func NewTCP(m int) (*TCP, error) {
-	t := &TCP{m: m, hub: NewMem(m)}
+	t := &TCP{m: m, hub: NewMem(m), errs: make(chan error, 64)}
 	t.conns = make([][]*tcpConn, m)
 	for i := range t.conns {
 		t.conns[i] = make([]*tcpConn, m)
@@ -68,80 +121,140 @@ func NewTCP(m int) (*TCP, error) {
 		}
 		t.lns[i] = ln
 	}
-	// Accept in background; worker j dials workers i < j.
-	var wg sync.WaitGroup
-	errs := make(chan error, m*m)
+	// Pre-allocate the connection slots so accept and reconnect paths can
+	// swap sockets in place.
+	for me := 0; me < m; me++ {
+		for peer := 0; peer < m; peer++ {
+			if peer == me {
+				continue
+			}
+			tc := &tcpConn{addr: t.lns[peer].Addr().String()}
+			binary.LittleEndian.PutUint32(tc.hello[:], uint32(me))
+			t.conns[me][peer] = tc
+		}
+	}
+	// Persistent accept loops: they serve both initial mesh setup and later
+	// reconnects, and exit when their listener is closed.
+	accepted := make(chan error, m*m)
 	for i := 0; i < m; i++ {
-		i := i
-		expect := m - 1 - i // peers j > i dial us
-		wg.Add(1)
+		go t.acceptLoop(i, accepted)
+	}
+	// Worker j dials workers i < j; one socket serves the pair full-duplex.
+	var dialErr error
+dial:
+	for j := 0; j < m; j++ {
+		for i := 0; i < j; i++ {
+			c, err := tcpDial("tcp", t.lns[i].Addr().String())
+			if err != nil {
+				dialErr = err
+				break dial
+			}
+			tc := t.conns[j][i]
+			if _, err := c.Write(tc.hello[:]); err != nil {
+				c.Close()
+				dialErr = err
+				break dial
+			}
+			tc.replace(c)
+			go t.readLoop(j, i, c)
+		}
+	}
+	if dialErr != nil {
+		t.Close() // closes listeners; accept loops exit instead of blocking
+		return nil, fmt.Errorf("comm: tcp mesh setup: %w", dialErr)
+	}
+	// Wait until every dialed socket has been accepted and installed.
+	for k := 0; k < m*(m-1)/2; k++ {
+		if err := <-accepted; err != nil {
+			t.Close()
+			return nil, fmt.Errorf("comm: tcp mesh setup: %w", err)
+		}
+	}
+	t.setupDone.Store(true)
+	return t, nil
+}
+
+// acceptLoop accepts connections for worker me until the listener closes.
+// During setup each install is reported on accepted; afterwards installs are
+// reconnects.
+func (t *TCP) acceptLoop(me int, accepted chan<- error) {
+	for {
+		c, err := t.lns[me].Accept()
+		if err != nil {
+			if !t.setupDone.Load() && !t.closed.Load() {
+				select {
+				case accepted <- err:
+				default:
+				}
+			}
+			return
+		}
 		go func() {
-			defer wg.Done()
-			for k := 0; k < expect; k++ {
-				c, err := t.lns[i].Accept()
-				if err != nil {
-					errs <- err
-					return
+			var hello [4]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				c.Close()
+				if !t.setupDone.Load() {
+					select {
+					case accepted <- err:
+					default:
+					}
 				}
-				var hello [4]byte
-				if _, err := io.ReadFull(c, hello[:]); err != nil {
-					errs <- err
-					return
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer < 0 || peer >= t.m || peer == me {
+				c.Close()
+				t.report(fmt.Errorf("comm: worker %d: bogus hello id %d", me, peer))
+				return
+			}
+			t.conns[me][peer].replace(c)
+			go t.readLoop(me, peer, c)
+			if !t.setupDone.Load() {
+				select {
+				case accepted <- nil:
+				default:
 				}
-				j := int(binary.LittleEndian.Uint32(hello[:]))
-				t.conns[i][j] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 1<<16)}
 			}
 		}()
 	}
-	for j := 0; j < m; j++ {
-		for i := 0; i < j; i++ {
-			c, err := net.Dial("tcp", t.lns[i].Addr().String())
-			if err != nil {
-				errs <- err
-				continue
-			}
-			var hello [4]byte
-			binary.LittleEndian.PutUint32(hello[:], uint32(j))
-			if _, err := c.Write(hello[:]); err != nil {
-				errs <- err
-				continue
-			}
-			t.conns[j][i] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 1<<16)}
-		}
-	}
-	wg.Wait()
+}
+
+// report publishes a diagnostic on the Err channel without blocking.
+func (t *TCP) report(err error) {
 	select {
-	case err := <-errs:
-		t.Close()
-		return nil, fmt.Errorf("comm: tcp mesh setup: %w", err)
+	case t.errs <- err:
 	default:
 	}
-	// Start one reader per incoming connection direction.
-	for me := 0; me < m; me++ {
-		for peer := 0; peer < m; peer++ {
-			if peer == me || t.conns[me][peer] == nil {
-				continue
-			}
-			go t.readLoop(me, peer, t.conns[me][peer].c)
-		}
-	}
-	return t, nil
 }
+
+// Err exposes connection-level diagnostics (truncation, oversized frames,
+// bogus peers). Best effort: the channel is buffered and never blocks the
+// data path.
+func (t *TCP) Err() <-chan error { return t.errs }
 
 func (t *TCP) readLoop(me, peer int, c net.Conn) {
 	r := bufio.NewReaderSize(c, 1<<16)
 	var hdr [9]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return // connection closed
+			t.readClosed(me, peer, err, false)
+			return
 		}
 		round := binary.LittleEndian.Uint32(hdr[0:4])
 		flag := hdr[4]
 		n := binary.LittleEndian.Uint32(hdr[5:9])
+		if n > MaxFrameSize {
+			err := &WorkerError{Worker: peer, Err: fmt.Errorf("%w: %d bytes from worker %d", ErrFrameTooLarge, n, peer)}
+			t.report(err)
+			t.hub.boxes[me].poison(err)
+			c.Close()
+			return
+		}
 		var data []byte
 		if n > 0 {
 			data = make([]byte, n)
 			if _, err := io.ReadFull(r, data); err != nil {
+				t.readClosed(me, peer, err, true)
 				return
 			}
 		}
@@ -154,44 +267,132 @@ func (t *TCP) readLoop(me, peer int, c net.Conn) {
 	}
 }
 
+// readClosed classifies the end of a read loop: a shutdown or a replaced
+// socket is silent; a clean close mid-run is reported for diagnosis (the
+// peer may redial); a mid-frame truncation additionally poisons the
+// receiver's mailbox so the torn connection is diagnosable at Drain instead
+// of a silent stall.
+func (t *TCP) readClosed(me, peer int, err error, midFrame bool) {
+	if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	if midFrame || errors.Is(err, io.ErrUnexpectedEOF) {
+		werr := &WorkerError{Worker: peer, Err: fmt.Errorf("%w (from worker %d: %v)", ErrTruncated, peer, err)}
+		t.report(werr)
+		t.hub.boxes[me].poison(werr)
+		return
+	}
+	t.report(&WorkerError{Worker: peer, Err: fmt.Errorf("comm: connection from worker %d closed between frames: %v", peer, err)})
+}
+
 func (t *TCP) Workers() int { return t.m }
 
-func (t *TCP) Send(from, to int, data []byte) {
+func (t *TCP) Send(from, to int, data []byte) error {
 	t.hub.frames.Add(1)
 	t.hub.bytes.Add(uint64(len(data)))
 	round := t.hub.rounds[from].Load()
 	if from == to {
+		if err := t.hub.aborted(); err != nil {
+			return err
+		}
 		if data == nil {
 			data = []byte{}
 		}
 		t.hub.boxes[to].push(frame{from: from, round: round, data: data})
-		return
+		return nil
 	}
-	if err := t.conns[from][to].writeFrame(round, 0, data); err != nil {
-		panic(fmt.Sprintf("comm: tcp send %d->%d: %v", from, to, err))
-	}
+	return t.writeWithRetry(from, to, round, 0, data)
 }
 
-func (t *TCP) EndRound(from int) {
+func (t *TCP) EndRound(from int) error {
 	r := t.hub.rounds[from].Load()
 	for to := 0; to < t.m; to++ {
 		if to == from {
+			if err := t.hub.aborted(); err != nil {
+				return err
+			}
 			t.hub.boxes[to].push(frame{from: from, round: r, data: nil})
 			continue
 		}
-		if err := t.conns[from][to].writeFrame(r, 1, nil); err != nil {
-			panic(fmt.Sprintf("comm: tcp end-round %d->%d: %v", from, to, err))
+		if err := t.writeWithRetry(from, to, r, 1, nil); err != nil {
+			return err
 		}
 	}
 	t.hub.rounds[from].Store(r + 1)
+	return nil
 }
 
-func (t *TCP) Drain(to int, h func(from int, data []byte)) { t.hub.Drain(to, h) }
+// writeWithRetry writes one frame, retrying transient failures with capped
+// exponential backoff and redialing the peer between attempts.
+func (t *TCP) writeWithRetry(from, to int, round uint32, flag byte, data []byte) error {
+	if err := t.hub.aborted(); err != nil {
+		return err
+	}
+	tc := t.conns[from][to]
+	backoff := tcpBackoffBase
+	var err error
+	for attempt := 0; attempt <= tcpMaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > tcpBackoffCap {
+				backoff = tcpBackoffCap
+			}
+			if rerr := t.reconnect(from, to); rerr != nil {
+				err = rerr
+				continue
+			}
+			t.reconnects.Add(1)
+		}
+		err = tc.writeFrame(round, flag, data)
+		if err == nil {
+			return nil
+		}
+		if t.closed.Load() {
+			break
+		}
+	}
+	return &WorkerError{Worker: from, Err: fmt.Errorf("tcp send %d->%d round %d: %w", from, to, round, err)}
+}
 
-func (t *TCP) Stats() Stats { return t.hub.Stats() }
+// reconnect redials to's listener and installs the fresh socket for the
+// from→to direction; to's accept loop installs the same socket for to→from.
+func (t *TCP) reconnect(from, to int) error {
+	tc := t.conns[from][to]
+	c, err := tcpDial("tcp", tc.addr)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Write(tc.hello[:]); err != nil {
+		c.Close()
+		return err
+	}
+	tc.replace(c)
+	go t.readLoop(from, to, c)
+	return nil
+}
+
+func (t *TCP) Drain(to int, h func(from int, data []byte)) error { return t.hub.Drain(to, h) }
+
+func (t *TCP) Abort(err error) { t.hub.Abort(err) }
+
+// Reset restores the shared hub state (queues, stashes, rounds, abort). It
+// is only safe when no frames are in flight on the wire, which holds after
+// a superstep has fully aborted: every worker has stopped sending and the
+// buffered writers were flushed or their sockets replaced.
+func (t *TCP) Reset() { t.hub.Reset() }
+
+func (t *TCP) SetDrainTimeout(d time.Duration) { t.hub.SetDrainTimeout(d) }
+
+func (t *TCP) Stats() Stats {
+	s := t.hub.Stats()
+	s.Reconnects = t.reconnects.Load()
+	return s
+}
 
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
+		t.closed.Store(true)
 		for _, ln := range t.lns {
 			if ln != nil {
 				if err := ln.Close(); err != nil && t.closeErr == nil {
@@ -200,12 +401,17 @@ func (t *TCP) Close() error {
 			}
 		}
 		for _, row := range t.conns {
-			for _, c := range row {
-				if c != nil {
-					if err := c.c.Close(); err != nil && t.closeErr == nil {
+			for _, tc := range row {
+				if tc == nil {
+					continue
+				}
+				tc.mu.Lock()
+				if tc.c != nil {
+					if err := tc.c.Close(); err != nil && t.closeErr == nil {
 						t.closeErr = err
 					}
 				}
+				tc.mu.Unlock()
 			}
 		}
 	})

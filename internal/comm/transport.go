@@ -3,6 +3,7 @@ package comm
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Transport moves byte frames between workers in bulk-synchronous rounds.
@@ -16,17 +17,36 @@ import (
 // Frames carry a round number so that a fast worker may run ahead into the
 // next round without corrupting a slow receiver's current round (its early
 // frames are stashed).
+//
+// Failure surface: Send, EndRound and Drain return an error instead of
+// panicking. Errors wrapped in TransientError are worth retrying with
+// backoff; everything else aborts the round. Abort unblocks every worker
+// stuck in a transport call; Reset restores the transport to a pristine
+// between-rounds state so a recovered run can replay from a checkpoint.
 type Transport interface {
 	// Workers returns the number of workers m.
 	Workers() int
 	// Send enqueues a data frame for `to`. The transport takes ownership of
 	// data. Safe for concurrent use by threads of the same worker.
-	Send(from, to int, data []byte)
+	Send(from, to int, data []byte) error
 	// EndRound marks `from` as finished sending for its current round.
-	EndRound(from int)
+	EndRound(from int) error
 	// Drain delivers all data frames of `to`'s current round and advances
-	// the round. h must not retain data beyond the call.
-	Drain(to int, h func(from int, data []byte))
+	// the round. h must not retain data beyond the call. Drain fails with
+	// ErrPeerStalled when no frame arrives within the drain timeout, and
+	// with the abort error after Abort.
+	Drain(to int, h func(from int, data []byte)) error
+	// Abort poisons the transport with err: every blocked or future
+	// Send/EndRound/Drain returns it until Reset. Safe to call from any
+	// goroutine, repeatedly (the first error wins).
+	Abort(err error)
+	// Reset clears all queued frames, stashes, round counters and any abort
+	// error, returning the transport to its initial round state. The caller
+	// must guarantee no worker is inside a transport call.
+	Reset()
+	// SetDrainTimeout bounds how long one Drain waits for the *next* frame
+	// before failing with ErrPeerStalled (0 = wait forever).
+	SetDrainTimeout(d time.Duration)
 	// Stats returns cumulative transfer statistics.
 	Stats() Stats
 	// Close releases transport resources. No calls may follow Close.
@@ -37,6 +57,9 @@ type Transport interface {
 type Stats struct {
 	FramesSent uint64
 	BytesSent  uint64
+	// Reconnects counts connections that were re-established after a drop
+	// (loopback-TCP transport only).
+	Reconnects uint64
 }
 
 type frame struct {
@@ -45,35 +68,91 @@ type frame struct {
 	data  []byte // nil means end-of-round marker
 }
 
-// mailbox is an unbounded FIFO with blocking receive.
+// mailbox is an unbounded FIFO with blocking receive, per-receive timeout
+// and poisoning. There is exactly one consumer per mailbox.
 type mailbox struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
 	queue []frame
+	err   error
+	sig   chan struct{} // capacity 1: "state changed" wakeup
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{sig: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) wake() {
+	select {
+	case m.sig <- struct{}{}:
+	default:
+	}
 }
 
 func (m *mailbox) push(f frame) {
 	m.mu.Lock()
 	m.queue = append(m.queue, f)
 	m.mu.Unlock()
-	m.cond.Signal()
+	m.wake()
 }
 
-func (m *mailbox) pop() frame {
+// poison makes every pending and future pop return err (first error wins).
+func (m *mailbox) poison(err error) {
 	m.mu.Lock()
-	for len(m.queue) == 0 {
-		m.cond.Wait()
+	if m.err == nil {
+		m.err = err
 	}
-	f := m.queue[0]
-	m.queue = m.queue[1:]
 	m.mu.Unlock()
-	return f
+	m.wake()
+}
+
+// reset clears the queue and the poison error.
+func (m *mailbox) reset() {
+	m.mu.Lock()
+	m.queue = nil
+	m.err = nil
+	m.mu.Unlock()
+	// Drop a stale wakeup so a future pop doesn't spin once for nothing.
+	select {
+	case <-m.sig:
+	default:
+	}
+}
+
+// pop dequeues the next frame, waiting up to timeout for one to arrive
+// (timeout 0 waits forever). Poisoning takes precedence over queued frames.
+func (m *mailbox) pop(timeout time.Duration) (frame, error) {
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	for {
+		m.mu.Lock()
+		if m.err != nil {
+			err := m.err
+			m.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return frame{}, err
+		}
+		if len(m.queue) > 0 {
+			f := m.queue[0]
+			m.queue = m.queue[1:]
+			m.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return f, nil
+		}
+		m.mu.Unlock()
+		if timeC == nil && timeout > 0 {
+			timer = time.NewTimer(timeout)
+			timeC = timer.C
+		}
+		select {
+		case <-m.sig:
+		case <-timeC:
+			return frame{}, ErrPeerStalled
+		}
+	}
 }
 
 // Mem is the default in-process transport: per-worker mailboxes. It models
@@ -86,6 +165,11 @@ type Mem struct {
 	stash  [][]frame       // per-receiver frames for future rounds
 	frames atomic.Uint64
 	bytes  atomic.Uint64
+
+	timeout atomic.Int64 // drain stall timeout in nanoseconds; 0 = forever
+
+	abortMu  sync.Mutex
+	abortErr error
 }
 
 // NewMem creates an in-memory transport for m workers.
@@ -105,24 +189,41 @@ func NewMem(m int) *Mem {
 
 func (t *Mem) Workers() int { return t.m }
 
-func (t *Mem) Send(from, to int, data []byte) {
+func (t *Mem) aborted() error {
+	t.abortMu.Lock()
+	defer t.abortMu.Unlock()
+	return t.abortErr
+}
+
+func (t *Mem) Send(from, to int, data []byte) error {
+	if err := t.aborted(); err != nil {
+		return err
+	}
 	if data == nil {
 		data = []byte{} // nil is reserved for end-of-round markers
 	}
 	t.frames.Add(1)
 	t.bytes.Add(uint64(len(data)))
 	t.boxes[to].push(frame{from: from, round: t.rounds[from].Load(), data: data})
+	return nil
 }
 
-func (t *Mem) EndRound(from int) {
+func (t *Mem) EndRound(from int) error {
+	if err := t.aborted(); err != nil {
+		return err
+	}
 	r := t.rounds[from].Load()
 	for to := 0; to < t.m; to++ {
 		t.boxes[to].push(frame{from: from, round: r, data: nil})
 	}
 	t.rounds[from].Store(r + 1)
+	return nil
 }
 
-func (t *Mem) Drain(to int, h func(from int, data []byte)) {
+func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
+	if err := t.aborted(); err != nil {
+		return err
+	}
 	r := t.recvRd[to]
 	pending := t.m // end-of-round markers still expected
 
@@ -142,8 +243,12 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) {
 		}
 		t.stash[to] = keep
 	}
+	timeout := time.Duration(t.timeout.Load())
 	for pending > 0 {
-		f := t.boxes[to].pop()
+		f, err := t.boxes[to].pop(timeout)
+		if err != nil {
+			return err
+		}
 		if f.round != r {
 			t.stash[to] = append(t.stash[to], f)
 			continue
@@ -155,7 +260,36 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) {
 		}
 	}
 	t.recvRd[to] = r + 1
+	return nil
 }
+
+func (t *Mem) Abort(err error) {
+	if err == nil {
+		err = ErrAborted
+	}
+	t.abortMu.Lock()
+	if t.abortErr == nil {
+		t.abortErr = err
+	}
+	t.abortMu.Unlock()
+	for _, b := range t.boxes {
+		b.poison(err)
+	}
+}
+
+func (t *Mem) Reset() {
+	t.abortMu.Lock()
+	t.abortErr = nil
+	t.abortMu.Unlock()
+	for i, b := range t.boxes {
+		b.reset()
+		t.rounds[i].Store(0)
+		t.recvRd[i] = 0
+		t.stash[i] = nil
+	}
+}
+
+func (t *Mem) SetDrainTimeout(d time.Duration) { t.timeout.Store(int64(d)) }
 
 func (t *Mem) Stats() Stats {
 	return Stats{FramesSent: t.frames.Load(), BytesSent: t.bytes.Load()}

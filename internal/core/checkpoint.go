@@ -1,0 +1,213 @@
+// Superstep checkpoint/recovery (fault tolerance).
+//
+// Following Distributed GraphLab's observation that BSP engines get cheap
+// fault tolerance from snapshotting at superstep boundaries, the engine can
+// snapshot every worker's state at the barrier — where it is consistent by
+// BSP construction — every CheckpointEvery successful supersteps. When a
+// superstep fails (transport error, stalled peer, injected worker crash),
+// the engine rolls back to the last checkpoint, replays the supersteps since
+// then (FLASH steps are deterministic functions of engine state, so replay
+// reproduces the exact pre-failure state and the exact subsets the driver
+// already holds), and re-executes the failed superstep. Scripted faults are
+// one-shot, and real-world transients are by definition unlikely to repeat,
+// so replay normally succeeds; a recovery budget stops a persistent fault
+// from looping forever.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flash/internal/bitset"
+	"flash/metrics"
+)
+
+// replayStep re-executes one superstep for its state effects, writing the
+// output subset into a throwaway.
+type replayStep[V any] func(out *Subset) error
+
+// checkpoint is a consistent snapshot of all worker state plus optional
+// driver-side state (e.g. a DSU) captured through the OnCheckpoint hook.
+type checkpoint[V any] struct {
+	cur      [][]V
+	frontier []*bitset.Bitset
+	driver   any
+	hasDrv   bool
+}
+
+// runtimeFailure carries an unrecovered superstep error up to Run through
+// the paper-shaped, error-free primitive signatures.
+type runtimeFailure struct{ err error }
+
+func (r runtimeFailure) Error() string { return r.err.Error() }
+
+// RunResult summarizes a completed (or failed) run. Counters are cumulative
+// for the engine's collector.
+type RunResult struct {
+	Supersteps  int
+	Checkpoints uint64
+	Recoveries  uint64
+	Retries     uint64
+	Reconnects  uint64
+}
+
+// Run executes a FLASH driver program with the engine's fault-tolerance
+// machinery engaged: a superstep that fails beyond what retry and
+// checkpoint recovery can absorb surfaces here as an error instead of a
+// panic, with every worker goroutine already joined and the transport
+// aborted cleanly. Structural misuse of the primitives (wrong engine's
+// subset, nil reduce in push mode, ...) still panics: those are programming
+// errors, not runtime conditions.
+func (e *Engine[V]) Run(program func() error) (res RunResult, err error) {
+	if e.failed != nil {
+		return e.runResult(), e.failed
+	}
+	defer func() {
+		res = e.runResult()
+		if r := recover(); r != nil {
+			rf, ok := r.(runtimeFailure)
+			if !ok {
+				panic(r)
+			}
+			err = rf.err
+		}
+	}()
+	err = program()
+	return
+}
+
+// runResult snapshots the run counters from the collector and transport.
+func (e *Engine[V]) runResult() RunResult {
+	stats := e.tr.Stats()
+	return RunResult{
+		Supersteps:  e.met.Supersteps,
+		Checkpoints: e.met.Checkpoints,
+		Recoveries:  e.met.Recoveries,
+		Retries:     e.met.Retries,
+		Reconnects:  e.met.Reconnects + stats.Reconnects,
+	}
+}
+
+// OnCheckpoint registers driver-side state hooks: save is called when a
+// checkpoint is taken and its value is handed back to restore on rollback.
+// Algorithms that keep state outside the engine between supersteps (the
+// paper's driver-side DSU in BCC/MSF, iteration-scoped accumulators, ...)
+// register here so recovery rewinds that state too.
+func (e *Engine[V]) OnCheckpoint(save func() any, restore func(any)) {
+	e.ckptSave = save
+	e.ckptRestore = restore
+}
+
+// Err returns the first unrecovered superstep failure, or nil.
+func (e *Engine[V]) Err() error { return e.failed }
+
+// execStep runs one superstep with failure handling. exec must be a
+// deterministic function of engine state that fills out and performs this
+// worker-parallel superstep's exchange rounds. On failure the engine rolls
+// back to the last checkpoint, replays the logged supersteps and re-executes
+// exec, up to the recovery budget; an unrecovered error marks the engine
+// failed and unwinds to Run.
+func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
+	if e.failed != nil {
+		panic(runtimeFailure{fmt.Errorf("core: engine already failed: %w", e.failed)})
+	}
+	ckptOn := e.cfg.CheckpointEvery > 0
+	if ckptOn && e.ckpt == nil {
+		// The initial checkpoint, taken lazily so driver-side seeding
+		// (Engine.Set) before the first superstep is captured.
+		e.takeCheckpoint()
+	}
+	e.met.Step(frontier)
+	out := e.newSubset()
+	err := exec(out)
+	for err != nil {
+		if !e.canRecover(err) {
+			e.failed = err
+			panic(runtimeFailure{err})
+		}
+		e.recoveries++
+		e.met.AddRecoveries(1)
+		out = e.newSubset()
+		err = e.rollbackReplay(exec, out)
+	}
+	out.recount()
+	if ckptOn {
+		e.replayLog = append(e.replayLog, exec)
+		e.stepsSince++
+		if e.stepsSince >= e.cfg.CheckpointEvery {
+			e.takeCheckpoint()
+		}
+	}
+	return out
+}
+
+// canRecover reports whether err is worth a rollback: checkpointing must be
+// on with a snapshot in hand, the recovery budget must not be exhausted, and
+// the failure must not be a worker panic (deterministic: it would fire again
+// on replay).
+func (e *Engine[V]) canRecover(err error) bool {
+	var wp *workerPanic
+	if errors.As(err, &wp) {
+		return false
+	}
+	return e.cfg.CheckpointEvery > 0 && e.ckpt != nil && e.recoveries < e.cfg.MaxRecoveries
+}
+
+// rollbackReplay restores the last checkpoint, replays the supersteps logged
+// since then for their state effects, and re-executes the failed superstep
+// into out.
+func (e *Engine[V]) rollbackReplay(failed replayStep[V], out *Subset) error {
+	start := time.Now()
+	e.tr.Reset()
+	e.restoreCheckpoint()
+	for _, step := range e.replayLog {
+		if err := step(e.newSubset()); err != nil {
+			e.met.Add(metrics.Other, time.Since(start))
+			return err
+		}
+	}
+	err := failed(out)
+	e.met.Add(metrics.Other, time.Since(start))
+	return err
+}
+
+// takeCheckpoint snapshots every worker's cur array and frontier bitmap plus
+// the driver hook state, then truncates the replay log: everything before
+// the snapshot can never be replayed again.
+func (e *Engine[V]) takeCheckpoint() {
+	ck := &checkpoint[V]{
+		cur:      make([][]V, len(e.workers)),
+		frontier: make([]*bitset.Bitset, len(e.workers)),
+	}
+	for i, w := range e.workers {
+		ck.cur[i] = append([]V(nil), w.cur...)
+		ck.frontier[i] = w.frontier.Clone()
+	}
+	if e.ckptSave != nil {
+		ck.driver = e.ckptSave()
+		ck.hasDrv = true
+	}
+	e.ckpt = ck
+	e.replayLog = e.replayLog[:0]
+	e.stepsSince = 0
+	e.met.AddCheckpoints(1)
+}
+
+// restoreCheckpoint copies the snapshot back and clears per-superstep
+// scratch state so replay starts from a barrier-clean slate.
+func (e *Engine[V]) restoreCheckpoint() {
+	for i, w := range e.workers {
+		copy(w.cur, e.ckpt.cur[i])
+		w.frontier.CopyFrom(e.ckpt.frontier[i])
+		w.nextSet.Reset()
+		w.accSet.Reset()
+		w.pendSet.Reset()
+		for j := range w.outBufs {
+			w.outBufs[j] = nil
+		}
+	}
+	if e.ckpt.hasDrv && e.ckptRestore != nil {
+		e.ckptRestore(e.ckpt.driver)
+	}
+}

@@ -82,81 +82,92 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 	if !H.Physical() && !e.cfg.FullMirrors {
 		panic("core: virtual edge sets require Config.FullMirrors (communication beyond neighborhood)")
 	}
-	e.met.Step(U.Size())
-	out := e.newSubset()
-	scope := e.scopeFor(H.Physical(), opts.NoSync)
-	e.parallelWorkers(func(w *worker[V]) {
-		membership := U.local[w.id]
+	return e.execStep(U.Size(), func(out *Subset) error {
+		scope := e.scopeFor(H.Physical(), opts.NoSync)
+		return e.parallelWorkers(func(w *worker[V]) error {
+			membership := U.local[w.id]
 
-		// Phase 1: push along out-edges, accumulating per-target partials.
-		w.accSet.Reset()
-		w.timeBlock(metrics.Compute, func() {
-			w.forEachMember(membership, U.Size(), func(l int) {
-				u := e.place.GlobalID(w.id, l)
-				uv := w.vtx(u)
-				H.Out(&w.ctx, u, func(d graph.VID, wt float32) bool {
-					dv := w.vtx(d)
-					if C != nil && !C(dv) {
+			// Phase 1: push along out-edges, accumulating per-target partials.
+			w.accSet.Reset()
+			w.timeBlock(metrics.Compute, func() {
+				w.forEachMember(membership, U.Size(), func(l int) {
+					u := e.place.GlobalID(w.id, l)
+					uv := w.vtx(u)
+					H.Out(&w.ctx, u, func(d graph.VID, wt float32) bool {
+						dv := w.vtx(d)
+						if C != nil && !C(dv) {
+							return true
+						}
+						if F != nil && !F(uv, dv, wt) {
+							return true
+						}
+						t := M(uv, dv, wt)
+						stripe := &w.stripes[(int(d)>>6)&255]
+						stripe.Lock()
+						if w.accSet.TestAndSet(int(d)) {
+							w.accVal[d] = R(t, w.accVal[d])
+						} else {
+							w.accVal[d] = t
+						}
+						stripe.Unlock()
 						return true
+					})
+				})
+			})
+
+			// Phase 2: route partials to target masters (exchange round 1).
+			w.pendSet.Reset()
+			sstart := time.Now()
+			msgs := 0
+			var sendErr error
+			w.accSet.Range(func(d int) bool {
+				gid := graph.VID(d)
+				o := e.place.Owner(gid)
+				if o == w.id {
+					w.foldPend(e.place.LocalIndex(gid), w.accVal[d], R)
+				} else {
+					if sendErr = w.appendKV(o, gid, &w.accVal[d]); sendErr != nil {
+						return false
 					}
-					if F != nil && !F(uv, dv, wt) {
-						return true
-					}
-					t := M(uv, dv, wt)
-					stripe := &w.stripes[(int(d)>>6)&255]
-					stripe.Lock()
-					if w.accSet.TestAndSet(int(d)) {
-						w.accVal[d] = R(t, w.accVal[d])
-					} else {
-						w.accVal[d] = t
-					}
-					stripe.Unlock()
+					msgs++
+				}
+				return true
+			})
+			w.met.Add(metrics.Serialization, time.Since(sstart))
+			w.met.AddTraffic(uint64(msgs), 0)
+			if sendErr != nil {
+				return sendErr
+			}
+			if err := w.flushAll(); err != nil {
+				return err
+			}
+			if err := e.tr.EndRound(w.id); err != nil {
+				return err
+			}
+			if err := w.drainKV(func(gid graph.VID, val V) {
+				w.foldPend(e.place.LocalIndex(gid), val, R)
+			}); err != nil {
+				return err
+			}
+
+			// Phase 3: masters apply the reduction against current values.
+			outBits := out.local[w.id]
+			w.timeBlock(metrics.Compute, func() {
+				w.pendSet.Range(func(l int) bool {
+					gid := e.place.GlobalID(w.id, l)
+					w.cur[gid] = R(w.pendVal[l], w.cur[gid])
+					outBits.Set(l)
 					return true
 				})
 			})
-		})
 
-		// Phase 2: route partials to target masters (exchange round 1).
-		w.pendSet.Reset()
-		sstart := time.Now()
-		msgs := 0
-		w.accSet.Range(func(d int) bool {
-			gid := graph.VID(d)
-			o := e.place.Owner(gid)
-			if o == w.id {
-				w.foldPend(e.place.LocalIndex(gid), w.accVal[d], R)
-			} else {
-				w.appendKV(o, gid, &w.accVal[d])
-				msgs++
+			// Exchange round 2: broadcast finals to mirrors.
+			if scope != scopeNone {
+				return w.syncMasters(w.pendSet, scope)
 			}
-			return true
+			return nil
 		})
-		w.met.Add(metrics.Serialization, time.Since(sstart))
-		w.met.AddTraffic(uint64(msgs), 0)
-		w.flushAll()
-		e.tr.EndRound(w.id)
-		w.drainKV(func(gid graph.VID, val V) {
-			w.foldPend(e.place.LocalIndex(gid), val, R)
-		})
-
-		// Phase 3: masters apply the reduction against current values.
-		outBits := out.local[w.id]
-		w.timeBlock(metrics.Compute, func() {
-			w.pendSet.Range(func(l int) bool {
-				gid := e.place.GlobalID(w.id, l)
-				w.cur[gid] = R(w.pendVal[l], w.cur[gid])
-				outBits.Set(l)
-				return true
-			})
-		})
-
-		// Exchange round 2: broadcast finals to mirrors.
-		if scope != scopeNone {
-			w.syncMasters(w.pendSet, scope)
-		}
 	})
-	out.recount()
-	return out
 }
 
 // foldPend merges an incoming partial for local master l.
@@ -181,62 +192,63 @@ func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V]
 	if !H.Physical() && !e.cfg.FullMirrors {
 		panic("core: virtual edge sets require Config.FullMirrors (communication beyond neighborhood)")
 	}
-	e.met.Step(U.Size())
-	out := e.newSubset()
-	scope := e.scopeFor(H.Physical(), opts.NoSync)
-	e.parallelWorkers(func(w *worker[V]) {
-		w.broadcastFrontier(U)
+	return e.execStep(U.Size(), func(out *Subset) error {
+		scope := e.scopeFor(H.Physical(), opts.NoSync)
+		return e.parallelWorkers(func(w *worker[V]) error {
+			if err := w.broadcastFrontier(U); err != nil {
+				return err
+			}
 
-		outBits := out.local[w.id]
-		updated := w.nextSet
-		updated.Reset()
-		w.timeBlock(metrics.Compute, func() {
-			w.parfor(e.place.LocalCount(w.id), func(lo, hi int) {
-				for l := lo; l < hi; l++ {
-					gid := e.place.GlobalID(w.id, l)
-					work := w.cur[gid]
-					dv := w.vtxAt(gid, &work)
-					applied := false
-					H.In(&w.ctx, gid, func(s graph.VID, wt float32) bool {
-						if C != nil && !C(dv) {
-							return false
-						}
-						if !w.frontier.Test(int(s)) {
+			outBits := out.local[w.id]
+			updated := w.nextSet
+			updated.Reset()
+			w.timeBlock(metrics.Compute, func() {
+				w.parfor(e.place.LocalCount(w.id), func(lo, hi int) {
+					for l := lo; l < hi; l++ {
+						gid := e.place.GlobalID(w.id, l)
+						work := w.cur[gid]
+						dv := w.vtxAt(gid, &work)
+						applied := false
+						H.In(&w.ctx, gid, func(s graph.VID, wt float32) bool {
+							if C != nil && !C(dv) {
+								return false
+							}
+							if !w.frontier.Test(int(s)) {
+								return true
+							}
+							sv := w.vtx(s)
+							if F != nil && !F(sv, dv, wt) {
+								return true
+							}
+							work = M(sv, dv, wt)
+							applied = true
 							return true
+						})
+						if applied {
+							w.next[l] = work
+							updated.Set(l)
+							outBits.Set(l)
 						}
-						sv := w.vtx(s)
-						if F != nil && !F(sv, dv, wt) {
-							return true
-						}
-						work = M(sv, dv, wt)
-						applied = true
-						return true
-					})
-					if applied {
-						w.next[l] = work
-						updated.Set(l)
-						outBits.Set(l)
 					}
-				}
+				})
+				// Publish next states after local scan completes.
+				updated.Range(func(l int) bool {
+					w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
+					return true
+				})
 			})
-			// Publish next states after local scan completes.
-			updated.Range(func(l int) bool {
-				w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
-				return true
-			})
+			if scope != scopeNone {
+				return w.syncMasters(updated, scope)
+			}
+			return nil
 		})
-		if scope != scopeNone {
-			w.syncMasters(updated, scope)
-		}
 	})
-	out.recount()
-	return out
 }
 
 // broadcastFrontier shares the members of U with every worker (one exchange
 // round) and materializes them in w.frontier as a global bitmap. Members are
 // encoded as word-spans of a global-position bitmap.
-func (w *worker[V]) broadcastFrontier(U *Subset) {
+func (w *worker[V]) broadcastFrontier(U *Subset) error {
 	e := w.eng
 	sstart := time.Now()
 	w.frontier.Reset()
@@ -260,17 +272,26 @@ func (w *worker[V]) broadcastFrontier(U *Subset) {
 		}
 		for to := 0; to < e.cfg.Workers; to++ {
 			if to != w.id {
-				e.tr.Send(w.id, to, payload)
+				if err := w.send(to, payload); err != nil {
+					w.met.Add(metrics.Serialization, time.Since(sstart))
+					return err
+				}
 			}
 		}
 		w.met.AddTraffic(uint64(e.cfg.Workers-1), 0)
 	}
 	w.met.Add(metrics.Serialization, time.Since(sstart))
-	e.tr.EndRound(w.id)
+	if err := e.tr.EndRound(w.id); err != nil {
+		return err
+	}
 	cstart := time.Now()
-	e.tr.Drain(w.id, func(_ int, data []byte) {
+	var frameErr error
+	drainErr := e.tr.Drain(w.id, func(_ int, data []byte) {
 		if len(data) < 4 || (len(data)-4)%8 != 0 {
-			panic(fmt.Sprintf("core: bad frontier frame of %d bytes", len(data)))
+			if frameErr == nil {
+				frameErr = fmt.Errorf("core: bad frontier frame of %d bytes", len(data))
+			}
+			return
 		}
 		off := int(binary.LittleEndian.Uint32(data))
 		for i := 0; i < (len(data)-4)/8; i++ {
@@ -278,4 +299,8 @@ func (w *worker[V]) broadcastFrontier(U *Subset) {
 		}
 	})
 	w.met.Add(metrics.Communication, time.Since(cstart))
+	if drainErr != nil {
+		return drainErr
+	}
+	return frameErr
 }

@@ -10,7 +10,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -77,6 +79,31 @@ type Config struct {
 	BatchBytes int
 	// Collector receives runtime metrics; nil allocates a private one.
 	Collector *metrics.Collector
+
+	// DrainTimeout bounds how long a worker waits for a peer's next frame
+	// within one exchange round before the superstep fails with
+	// comm.ErrPeerStalled (0 = wait forever, the pre-fault-tolerance
+	// behavior).
+	DrainTimeout time.Duration
+	// CheckpointEvery snapshots all worker state every n successful
+	// supersteps at the barrier (consistent by BSP construction) and enables
+	// rollback+replay recovery from transport failures. 0 disables
+	// checkpointing.
+	CheckpointEvery int
+	// MaxRecoveries bounds checkpoint rollbacks per engine (default 3 when
+	// checkpointing is enabled); the budget stops a persistent fault from
+	// looping forever.
+	MaxRecoveries int
+	// SendRetries is how many times a transient send failure is retried with
+	// exponential backoff before the superstep fails (default 4; negative
+	// disables retries).
+	SendRetries int
+	// RetryBackoff is the initial retry backoff, doubling per attempt and
+	// capped at 100x (default 500µs).
+	RetryBackoff time.Duration
+	// FaultPlan, when non-nil, wraps the transport with comm.NewFaulty for
+	// deterministic fault injection (chaos testing).
+	FaultPlan *comm.FaultPlan
 }
 
 func (c *Config) fillDefaults() {
@@ -91,6 +118,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Collector == nil {
 		c.Collector = metrics.New()
+	}
+	if c.MaxRecoveries == 0 {
+		c.MaxRecoveries = 3
+	}
+	if c.SendRetries == 0 {
+		c.SendRetries = 4
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 500 * time.Microsecond
 	}
 }
 
@@ -110,6 +146,12 @@ func (c *Config) validate() error {
 	}
 	if c.BatchBytes < 0 {
 		return fmt.Errorf("core: BatchBytes must be >= 0, got %d", c.BatchBytes)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
+	if c.DrainTimeout < 0 {
+		return fmt.Errorf("core: DrainTimeout must be >= 0, got %v", c.DrainTimeout)
 	}
 	return nil
 }
@@ -137,6 +179,15 @@ type Engine[V any] struct {
 
 	workers []*worker[V]
 	closed  bool
+
+	// Fault-tolerance state (driver-side, single-threaded between steps).
+	failed      error           // first unrecovered superstep failure
+	ckpt        *checkpoint[V]  // last consistent snapshot (nil until taken)
+	replayLog   []replayStep[V] // supersteps since the last checkpoint
+	stepsSince  int             // supersteps since the last checkpoint
+	recoveries  int             // rollbacks performed so far
+	ckptSave    func() any      // driver-state hook: snapshot (e.g. DSU)
+	ckptRestore func(any)       // driver-state hook: restore
 }
 
 // worker is the per-worker state ("process memory").
@@ -195,6 +246,12 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 		} else {
 			tr = comm.NewMem(cfg.Workers)
 		}
+	}
+	if cfg.FaultPlan != nil {
+		tr = comm.NewFaulty(tr, *cfg.FaultPlan)
+	}
+	if cfg.DrainTimeout > 0 {
+		tr.SetDrainTimeout(cfg.DrainTimeout)
 	}
 	var place partition.Placement
 	if cfg.UseHashPlacement {
@@ -262,20 +319,93 @@ func (e *Engine[V]) Close() error {
 
 // parallelWorkers runs f once per worker concurrently and waits; it then
 // folds worker metric shards into the engine collector.
-func (e *Engine[V]) parallelWorkers(f func(w *worker[V])) {
+//
+// Error propagation: the first worker to fail broadcasts an abort through
+// the transport so peers blocked in exchange rounds unblock promptly with
+// comm.ErrAborted, and every worker goroutine is always joined before the
+// call returns — a failing superstep leaks no goroutines. The returned
+// error is the root cause (a non-abort error is preferred over the
+// secondary comm.ErrAborted ones it triggered). Panics inside a worker are
+// converted to non-recoverable errors so the abort broadcast still runs.
+func (e *Engine[V]) parallelWorkers(f func(w *worker[V]) error) error {
+	errs := make([]error, len(e.workers))
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f(w)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w.id] = &workerPanic{worker: w.id, value: r, stack: debug.Stack()}
+					e.tr.Abort(comm.ErrAborted)
+				}
+			}()
+			if err := f(w); err != nil {
+				errs[w.id] = err
+				e.tr.Abort(comm.ErrAborted)
+			}
 		}()
 	}
 	wg.Wait()
 	for _, w := range e.workers {
 		e.met.Merge(w.met)
 		w.met.Reset()
+	}
+	var secondary error
+	for wi, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, comm.ErrAborted) {
+			return fmt.Errorf("core: worker %d: superstep failed: %w", wi, err)
+		}
+		if secondary == nil {
+			secondary = fmt.Errorf("core: worker %d: superstep aborted: %w", wi, err)
+		}
+	}
+	return secondary
+}
+
+// workerPanic wraps a panic that escaped a worker goroutine. It is never
+// recovered from a checkpoint: a deterministic callback panic would fire
+// again on replay.
+type workerPanic struct {
+	worker int
+	value  any
+	stack  []byte
+}
+
+func (p *workerPanic) Error() string {
+	return fmt.Sprintf("core: worker %d panicked: %v\n%s", p.worker, p.value, p.stack)
+}
+
+// send ships one frame with retry: transient failures back off exponentially
+// (capped) up to cfg.SendRetries attempts, counting retries — and, after a
+// dropped connection heals, reconnects — into the worker's metric shard.
+func (w *worker[V]) send(to int, data []byte) error {
+	e := w.eng
+	backoff := e.cfg.RetryBackoff
+	sawDrop := false
+	for attempt := 0; ; attempt++ {
+		err := e.tr.Send(w.id, to, data)
+		if err == nil {
+			if sawDrop {
+				w.met.AddReconnects(1)
+			}
+			return nil
+		}
+		if !comm.IsTransient(err) || attempt >= e.cfg.SendRetries {
+			return err
+		}
+		if errors.Is(err, comm.ErrConnDropped) {
+			sawDrop = true
+		}
+		w.met.AddRetries(1)
+		time.Sleep(backoff)
+		if backoff < 100*e.cfg.RetryBackoff {
+			backoff *= 2
+		}
 	}
 }
 

@@ -151,14 +151,20 @@ func (e *Engine[V]) IDs(s *Subset) []graph.VID {
 // rule. Runs worker-parallel.
 func (e *Engine[V]) degreeSum(s *Subset, h EdgeSet[V]) int {
 	sums := make([]int, e.cfg.Workers)
-	e.parallelWorkers(func(w *worker[V]) {
+	// No exchange rounds here: the only possible failures are callback panics,
+	// which are non-recoverable, so unwind straight to Run.
+	if err := e.parallelWorkers(func(w *worker[V]) error {
 		total := 0
 		s.local[w.id].Range(func(l int) bool {
 			total += h.OutDegreeHint(&w.ctx, e.place.GlobalID(w.id, l))
 			return true
 		})
 		sums[w.id] = total
-	})
+		return nil
+	}); err != nil {
+		e.failed = err
+		panic(runtimeFailure{err})
+	}
 	total := 0
 	for _, x := range sums {
 		total += x

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"flash/graph"
@@ -36,77 +37,103 @@ func (e *Engine[V]) scopeFor(physical bool, noSync bool) syncScope {
 
 // appendKV encodes (gid, *val) into the buffer for `to`, flushing eagerly
 // when BatchBytes is exceeded so transfer overlaps remaining work.
-func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) {
+func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
 	buf := w.outBufs[to]
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(gid))
 	buf = w.eng.codec.Append(buf, val)
 	if bb := w.eng.cfg.BatchBytes; bb > 0 && len(buf) >= bb {
-		w.eng.tr.Send(w.id, to, buf)
+		if err := w.send(to, buf); err != nil {
+			w.outBufs[to] = nil
+			return err
+		}
 		buf = nil
 	}
 	w.outBufs[to] = buf
+	return nil
 }
 
 // flushAll sends every non-empty buffer.
-func (w *worker[V]) flushAll() {
+func (w *worker[V]) flushAll() error {
 	for to, buf := range w.outBufs {
 		if len(buf) > 0 {
-			w.eng.tr.Send(w.id, to, buf)
 			w.outBufs[to] = nil
+			if err := w.send(to, buf); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // drainKV completes the current exchange round, decoding (gid, value) pairs
 // and handing them to apply. Wall time waiting on peers is recorded as
-// communication; decode time as serialization.
-func (w *worker[V]) drainKV(apply func(gid graph.VID, val V)) {
+// communication; decode time as serialization. A truncated or corrupt frame
+// is a superstep failure, not a panic: the remaining frames are still
+// drained to keep the round consistent, and the first decode error is
+// returned alongside transport failures (stall, abort).
+func (w *worker[V]) drainKV(apply func(gid graph.VID, val V)) error {
 	var decode time.Duration
+	var decodeErr error
 	start := time.Now()
-	w.eng.tr.Drain(w.id, func(_ int, data []byte) {
+	drainErr := w.eng.tr.Drain(w.id, func(_ int, data []byte) {
 		dstart := time.Now()
+		defer func() { decode += time.Since(dstart) }()
 		off := 0
 		for off < len(data) {
 			if len(data)-off < 4 {
-				panic("core: truncated sync frame header")
+				if decodeErr == nil {
+					decodeErr = fmt.Errorf("core: truncated sync frame header (%d trailing bytes)", len(data)-off)
+				}
+				return
 			}
 			gid := graph.VID(binary.LittleEndian.Uint32(data[off:]))
 			off += 4
 			var val V
 			n, err := w.eng.codec.Decode(data[off:], &val)
 			if err != nil {
-				panic("core: corrupt sync frame: " + err.Error())
+				if decodeErr == nil {
+					decodeErr = fmt.Errorf("core: corrupt sync frame: %w", err)
+				}
+				return
 			}
 			off += n
 			apply(gid, val)
 		}
-		decode += time.Since(dstart)
 	})
 	w.met.Add(metrics.Communication, time.Since(start)-decode)
 	w.met.Add(metrics.Serialization, decode)
+	if drainErr != nil {
+		return drainErr
+	}
+	return decodeErr
 }
 
 // syncMasters pushes the new values of the updated local masters to the
 // workers holding their mirrors (one exchange round), and applies incoming
 // values from other masters to local mirrors. Must be called by every worker
 // of the engine with the same scope, even when a worker updated nothing.
-func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) {
+func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	if scope != scopeNone {
 		sstart := time.Now()
 		msgs := 0
+		var sendErr error
 		updated.Range(func(l int) bool {
 			gid := e.place.GlobalID(w.id, l)
 			if scope == scopeBroadcast {
 				for to := 0; to < e.cfg.Workers; to++ {
 					if to != w.id {
-						w.appendKV(to, gid, &w.cur[gid])
+						if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
+							return false
+						}
 						msgs++
 					}
 				}
 			} else {
 				for _, to := range w.part.MirrorWorkers[l] {
-					w.appendKV(to, gid, &w.cur[gid])
+					if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
+						return false
+					}
 					msgs++
 				}
 			}
@@ -114,10 +141,17 @@ func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) {
 		})
 		w.met.Add(metrics.Serialization, time.Since(sstart))
 		w.met.AddTraffic(uint64(msgs), 0)
+		if sendErr != nil {
+			return sendErr
+		}
 	}
-	w.flushAll()
-	e.tr.EndRound(w.id)
-	w.drainKV(func(gid graph.VID, val V) {
+	if err := w.flushAll(); err != nil {
+		return err
+	}
+	if err := e.tr.EndRound(w.id); err != nil {
+		return err
+	}
+	return w.drainKV(func(gid graph.VID, val V) {
 		w.cur[gid] = val
 	})
 }

@@ -21,34 +21,33 @@ type StepOpts struct {
 // synchronization of updated masters (unless opts.NoSync).
 func (e *Engine[V]) VertexMap(U *Subset, F func(Vtx[V]) bool, M func(Vtx[V]) V, opts StepOpts) *Subset {
 	e.checkSubset(U)
-	e.met.Step(U.Size())
-	out := e.newSubset()
-	scope := e.scopeFor(true, opts.NoSync || M == nil)
-	e.parallelWorkers(func(w *worker[V]) {
-		membership := U.local[w.id]
-		outBits := out.local[w.id]
-		updated := w.nextSet
-		updated.Reset()
-		w.timeBlock(metrics.Compute, func() {
-			w.forEachMember(membership, U.Size(), func(l int) {
-				gid := e.place.GlobalID(w.id, l)
-				v := w.vtx(gid)
-				if F != nil && !F(v) {
-					return
-				}
-				if M != nil {
-					w.cur[gid] = M(v)
-					updated.Set(l)
-				}
-				outBits.Set(l)
+	return e.execStep(U.Size(), func(out *Subset) error {
+		scope := e.scopeFor(true, opts.NoSync || M == nil)
+		return e.parallelWorkers(func(w *worker[V]) error {
+			membership := U.local[w.id]
+			outBits := out.local[w.id]
+			updated := w.nextSet
+			updated.Reset()
+			w.timeBlock(metrics.Compute, func() {
+				w.forEachMember(membership, U.Size(), func(l int) {
+					gid := e.place.GlobalID(w.id, l)
+					v := w.vtx(gid)
+					if F != nil && !F(v) {
+						return
+					}
+					if M != nil {
+						w.cur[gid] = M(v)
+						updated.Set(l)
+					}
+					outBits.Set(l)
+				})
 			})
+			if scope != scopeNone {
+				return w.syncMasters(updated, scope)
+			}
+			return nil
 		})
-		if scope != scopeNone {
-			w.syncMasters(updated, scope)
-		}
 	})
-	out.recount()
-	return out
 }
 
 // VertexMapC is VertexMap with context-passing callbacks that may read
@@ -58,36 +57,35 @@ func (e *Engine[V]) VertexMap(U *Subset, F func(Vtx[V]) bool, M func(Vtx[V]) V, 
 // values.
 func (e *Engine[V]) VertexMapC(U *Subset, F func(c *Ctx[V], v Vtx[V]) bool, M func(c *Ctx[V], v Vtx[V]) V, opts StepOpts) *Subset {
 	e.checkSubset(U)
-	e.met.Step(U.Size())
-	out := e.newSubset()
-	scope := e.scopeFor(true, opts.NoSync || M == nil)
-	e.parallelWorkers(func(w *worker[V]) {
-		membership := U.local[w.id]
-		outBits := out.local[w.id]
-		updated := w.nextSet
-		updated.Reset()
-		w.timeBlock(metrics.Compute, func() {
-			w.forEachMember(membership, U.Size(), func(l int) {
-				gid := e.place.GlobalID(w.id, l)
-				v := w.vtx(gid)
-				if F != nil && !F(&w.ctx, v) {
-					return
-				}
-				if M != nil {
-					w.next[l] = M(&w.ctx, v)
-					updated.Set(l)
-				}
-				outBits.Set(l)
+	return e.execStep(U.Size(), func(out *Subset) error {
+		scope := e.scopeFor(true, opts.NoSync || M == nil)
+		return e.parallelWorkers(func(w *worker[V]) error {
+			membership := U.local[w.id]
+			outBits := out.local[w.id]
+			updated := w.nextSet
+			updated.Reset()
+			w.timeBlock(metrics.Compute, func() {
+				w.forEachMember(membership, U.Size(), func(l int) {
+					gid := e.place.GlobalID(w.id, l)
+					v := w.vtx(gid)
+					if F != nil && !F(&w.ctx, v) {
+						return
+					}
+					if M != nil {
+						w.next[l] = M(&w.ctx, v)
+						updated.Set(l)
+					}
+					outBits.Set(l)
+				})
+				updated.Range(func(l int) bool {
+					w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
+					return true
+				})
 			})
-			updated.Range(func(l int) bool {
-				w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
-				return true
-			})
+			if scope != scopeNone {
+				return w.syncMasters(updated, scope)
+			}
+			return nil
 		})
-		if scope != scopeNone {
-			w.syncMasters(updated, scope)
-		}
 	})
-	out.recount()
-	return out
 }

@@ -48,6 +48,17 @@ type Collector struct {
 	Bytes      uint64
 	// Frontier[i] is the number of active vertices entering superstep i.
 	Frontier []int
+
+	// Robustness counters (fault-tolerant runtime).
+	//
+	// Retries counts transient send failures that were retried with backoff;
+	// Reconnects counts connections re-established after a drop; Recoveries
+	// counts checkpoint rollbacks + replays; Checkpoints counts snapshots
+	// taken at superstep barriers.
+	Retries     uint64
+	Reconnects  uint64
+	Recoveries  uint64
+	Checkpoints uint64
 }
 
 // New returns an empty collector.
@@ -72,6 +83,34 @@ func (col *Collector) AddTraffic(messages, bytes uint64) {
 	col.mu.Lock()
 	col.Messages += messages
 	col.Bytes += bytes
+	col.mu.Unlock()
+}
+
+// AddRetries records n retried transient send failures.
+func (col *Collector) AddRetries(n uint64) {
+	col.mu.Lock()
+	col.Retries += n
+	col.mu.Unlock()
+}
+
+// AddReconnects records n re-established connections.
+func (col *Collector) AddReconnects(n uint64) {
+	col.mu.Lock()
+	col.Reconnects += n
+	col.mu.Unlock()
+}
+
+// AddRecoveries records n checkpoint rollback+replay recoveries.
+func (col *Collector) AddRecoveries(n uint64) {
+	col.mu.Lock()
+	col.Recoveries += n
+	col.mu.Unlock()
+}
+
+// AddCheckpoints records n checkpoint snapshots.
+func (col *Collector) AddCheckpoints(n uint64) {
+	col.mu.Lock()
+	col.Checkpoints += n
 	col.mu.Unlock()
 }
 
@@ -127,6 +166,8 @@ func (col *Collector) Merge(other *Collector) {
 	msgs, bytes := other.Messages, other.Bytes
 	steps := other.Supersteps
 	frontier := append([]int(nil), other.Frontier...)
+	retries, reconnects := other.Retries, other.Reconnects
+	recoveries, checkpoints := other.Recoveries, other.Checkpoints
 	other.mu.Unlock()
 
 	col.mu.Lock()
@@ -137,6 +178,10 @@ func (col *Collector) Merge(other *Collector) {
 	col.Bytes += bytes
 	col.Supersteps += steps
 	col.Frontier = append(col.Frontier, frontier...)
+	col.Retries += retries
+	col.Reconnects += reconnects
+	col.Recoveries += recoveries
+	col.Checkpoints += checkpoints
 	col.mu.Unlock()
 }
 
@@ -148,6 +193,10 @@ func (col *Collector) Reset() {
 	col.Messages = 0
 	col.Bytes = 0
 	col.Frontier = col.Frontier[:0]
+	col.Retries = 0
+	col.Reconnects = 0
+	col.Recoveries = 0
+	col.Checkpoints = 0
 	col.mu.Unlock()
 }
 
@@ -159,6 +208,10 @@ func (col *Collector) String() string {
 	fmt.Fprintf(&sb, "steps=%d msgs=%d bytes=%d", col.Supersteps, col.Messages, col.Bytes)
 	for c := Category(0); c < numCategories; c++ {
 		fmt.Fprintf(&sb, " %s=%s", c, col.durations[c].Round(time.Microsecond))
+	}
+	if col.Retries+col.Reconnects+col.Recoveries+col.Checkpoints > 0 {
+		fmt.Fprintf(&sb, " retries=%d reconnects=%d recoveries=%d checkpoints=%d",
+			col.Retries, col.Reconnects, col.Recoveries, col.Checkpoints)
 	}
 	return sb.String()
 }
