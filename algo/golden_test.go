@@ -1,0 +1,644 @@
+package algo
+
+// Golden reference tests: every algorithm in the package runs against a
+// brute-force single-threaded oracle on small deterministic graphs, across
+// worker counts {1, 2, 4} and both transports (in-memory exchange and real
+// TCP loopback). The regular *_test.go suites pin correctness on the mem
+// transport with workers {1, 3}; this file is the wider matrix the perf work
+// must not disturb — pooled frames, delta-coded vids, and the fixed codec
+// all sit on the wire path TCP exercises for real.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"flash"
+	"flash/graph"
+)
+
+var goldenWorkers = []int{1, 2, 4}
+
+// goldenGraphs are deliberately tiny: the full matrix multiplies every graph
+// by 6 engine configurations per algorithm, half of them over TCP.
+func goldenGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":     graph.GenPath(12),
+		"er":       graph.GenErdosRenyi(24, 70, 5),
+		"complete": graph.GenComplete(6),
+		"tree":     graph.GenTree(15, 3),
+	}
+}
+
+// goldenDirected are the directed inputs for SCC.
+func goldenDirected() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"randdir": graph.GenRandomDirected(30, 90, 7),
+		"cycles":  graph.FromEdges(6, true, [][2]graph.VID{{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}, {1, 2}}),
+		"dag":     graph.FromEdges(6, true, [][2]graph.VID{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 5}}),
+	}
+}
+
+// forGolden runs f over graphs x worker counts x transports.
+func forGolden(t *testing.T, graphs map[string]*graph.Graph, f func(t *testing.T, g *graph.Graph, opts []flash.Option)) {
+	t.Helper()
+	for name, g := range graphs {
+		for _, w := range goldenWorkers {
+			for _, transport := range []string{"mem", "tcp"} {
+				opts := []flash.Option{flash.WithWorkers(w)}
+				if transport == "tcp" {
+					opts = append(opts, flash.WithTCP())
+				}
+				t.Run(fmt.Sprintf("%s/w%d/%s", name, w, transport), func(t *testing.T) {
+					f(t, g, opts)
+				})
+			}
+		}
+	}
+}
+
+func TestGoldenBFS(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		got, err := BFS(g, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+			}
+		}
+	})
+}
+
+func TestGoldenMultiBFS(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		sources := []graph.VID{0, graph.VID(g.NumVertices() - 1)}
+		got, err := MultiBFS(g, sources, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: pointwise minimum of single-source BFS distances.
+		want := make([]int32, g.NumVertices())
+		for i := range want {
+			want[i] = -1
+		}
+		for _, s := range sources {
+			for v, d := range refBFS(g, s) {
+				if d != -1 && (want[v] == -1 || d < want[v]) {
+					want[v] = d
+				}
+			}
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("multi-dist[%d] = %d, want %d", v, got[v], want[v])
+			}
+		}
+	})
+}
+
+func TestGoldenCC(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		got, err := CC(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refComponents(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("cc[%d] = %d, want %d", v, got[v], want[v])
+			}
+		}
+		if CountComponents(got) != CountComponents(want) {
+			t.Fatalf("component count %d, want %d", CountComponents(got), CountComponents(want))
+		}
+	})
+}
+
+func TestGoldenCCOpt(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		res, err := CCOpt(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePartition(res.Labels, refComponents(g)) {
+			t.Fatal("CCOpt partition differs from reference")
+		}
+	})
+}
+
+func TestGoldenBC(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		got, err := BC(g, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refBC(g, 0)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6 {
+				t.Fatalf("bc[%d] = %g, want %g", v, got[v], want[v])
+			}
+		}
+	})
+}
+
+func TestGoldenSSSP(t *testing.T) {
+	weighted := map[string]*graph.Graph{
+		"er":   graph.WithRandomWeights(graph.GenErdosRenyi(24, 70, 5), 9),
+		"path": graph.WithRandomWeights(graph.GenPath(12), 3),
+	}
+	forGolden(t, weighted, func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		got, err := SSSP(g, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refDijkstra(g, 0)
+		for v := range want {
+			if math.Abs(float64(got[v]-want[v])) > 1e-4 {
+				t.Fatalf("dist[%d] = %g, want %g", v, got[v], want[v])
+			}
+		}
+	})
+}
+
+// refPageRank mirrors prIterate exactly: damping 0.85, uniform dangling-mass
+// redistribution, L1 convergence test against the pre-update ranks.
+func refPageRank(g *graph.Graph, maxIters int, eps float64) []float64 {
+	n := g.NumVertices()
+	const damping = 0.85
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	for it := 0; it < maxIters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if g.OutDegree(graph.VID(v)) == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := range next {
+			next[v] = 0
+		}
+		for u := 0; u < n; u++ {
+			if d := g.OutDegree(graph.VID(u)); d > 0 {
+				share := damping * rank[u] / float64(d)
+				for _, v := range g.OutNeighbors(graph.VID(u)) {
+					next[v] += share
+				}
+			}
+		}
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			delta += math.Abs(base + next[v] - rank[v])
+		}
+		for v := 0; v < n; v++ {
+			rank[v] = base + next[v]
+		}
+		if delta < eps {
+			break
+		}
+	}
+	return rank
+}
+
+func TestGoldenPageRank(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		// eps=0 pins the iteration count, so oracle and engine run the same
+		// number of rounds and differ only in float summation order.
+		got, err := PageRank(g, 30, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refPageRank(g, 30, 0)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("rank[%d] = %g, want %g", v, got[v], want[v])
+			}
+		}
+	})
+}
+
+func TestGoldenKCore(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		want := refCore(g)
+		for _, kc := range []struct {
+			name string
+			f    func(*graph.Graph, ...flash.Option) ([]int32, error)
+		}{{"kc", KC}, {"kcopt", KCOpt}} {
+			got, err := kc.f(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s: core[%d] = %d, want %d", kc.name, v, got[v], want[v])
+				}
+			}
+		}
+	})
+}
+
+func TestGoldenTriangleFamily(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		tc, err := TC(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refTC(g); tc != want {
+			t.Fatalf("triangles = %d, want %d", tc, want)
+		}
+		rc, err := RC(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refRC(g); rc != want {
+			t.Fatalf("rectangles = %d, want %d", rc, want)
+		}
+		cl, err := CL(g, 4, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refCL(g, 4); cl != want {
+			t.Fatalf("4-cliques = %d, want %d", cl, want)
+		}
+	})
+}
+
+func TestGoldenSCC(t *testing.T) {
+	forGolden(t, goldenDirected(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		got, err := SCC(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePartition(got, refSCC(g)) {
+			t.Fatalf("SCC partition mismatch: %v", got)
+		}
+	})
+}
+
+func TestGoldenBCC(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		res, err := BCC(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := CountBCCs(res), refBCCCount(g); got != want {
+			t.Fatalf("%d BCCs, want %d", got, want)
+		}
+	})
+}
+
+// refKTruss peels under-supported edges to a fixed point and returns the
+// surviving undirected edge set keyed (u, v) with u < v.
+func refKTruss(g *graph.Graph, k int) map[[2]graph.VID]bool {
+	if k < 3 {
+		k = 3
+	}
+	n := g.NumVertices()
+	adj := make([]map[graph.VID]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[graph.VID]bool)
+		for _, u := range g.OutNeighbors(graph.VID(v)) {
+			if u != graph.VID(v) {
+				adj[v][u] = true
+			}
+		}
+	}
+	support := func(u, v graph.VID) int {
+		c := 0
+		for w := range adj[u] {
+			if adj[v][w] {
+				c++
+			}
+		}
+		return c
+	}
+	for {
+		var drop [][2]graph.VID
+		for u := 0; u < n; u++ {
+			for v := range adj[u] {
+				if graph.VID(u) < v && support(graph.VID(u), v) < k-2 {
+					drop = append(drop, [2]graph.VID{graph.VID(u), v})
+				}
+			}
+		}
+		if len(drop) == 0 {
+			break
+		}
+		for _, e := range drop {
+			delete(adj[e[0]], e[1])
+			delete(adj[e[1]], e[0])
+		}
+	}
+	out := make(map[[2]graph.VID]bool)
+	for u := 0; u < n; u++ {
+		for v := range adj[u] {
+			if graph.VID(u) < v {
+				out[[2]graph.VID{graph.VID(u), v}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestGoldenKTruss(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		for _, k := range []int{3, 4} {
+			edges, err := KTruss(g, k, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refKTruss(g, k)
+			if len(edges) != len(want) {
+				t.Fatalf("k=%d: %d edges, want %d", k, len(edges), len(want))
+			}
+			for _, e := range edges {
+				if !want[e] {
+					t.Fatalf("k=%d: edge %v not in reference truss", k, e)
+				}
+			}
+		}
+	})
+}
+
+func TestGoldenMatchingAndMIS(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		for _, mm := range []struct {
+			name string
+			f    func(*graph.Graph, ...flash.Option) ([]int32, error)
+		}{{"mm", MM}, {"mmopt", MMOpt}} {
+			match, err := mm.f(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMatching(t, g, match)
+		}
+		in, err := MIS(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if u != v && in[u] && in[v] {
+				t.Fatalf("adjacent vertices %d,%d both in MIS", u, v)
+			}
+			return true
+		})
+		for v := 0; v < g.NumVertices(); v++ {
+			if in[v] {
+				continue
+			}
+			covered := false
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				if in[u] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("vertex %d outside MIS with no MIS neighbor", v)
+			}
+		}
+	})
+}
+
+func TestGoldenGC(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		colors, err := GC(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Edges(func(u, v graph.VID, _ float32) bool {
+			if u != v && colors[u] == colors[v] {
+				t.Fatalf("edge (%d,%d) same color %d", u, v, colors[u])
+			}
+			return true
+		})
+		_, maxDeg := g.MaxOutDegree()
+		if nc := CountColors(colors); nc > maxDeg+1 {
+			t.Fatalf("%d colors exceeds maxdeg+1 = %d", nc, maxDeg+1)
+		}
+	})
+}
+
+// refBipartite two-colors each component by BFS parity.
+func refBipartite(g *graph.Graph) bool {
+	n := g.NumVertices()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		q := []graph.VID{graph.VID(s)}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			for _, v := range g.OutNeighbors(u) {
+				if side[v] == -1 {
+					side[v] = 1 - side[u]
+					q = append(q, v)
+				} else if side[v] == side[u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestGoldenBipartite(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		res, err := Bipartite(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refBipartite(g); res.IsBipartite != want {
+			t.Fatalf("IsBipartite = %v, want %v", res.IsBipartite, want)
+		}
+		if res.IsBipartite {
+			g.Edges(func(u, v graph.VID, _ float32) bool {
+				if u != v && res.Side[u] == res.Side[v] {
+					t.Fatalf("edge (%d,%d) on one side %d", u, v, res.Side[u])
+				}
+				return true
+			})
+		}
+	})
+}
+
+func TestGoldenDiameter(t *testing.T) {
+	// The double sweep is exact on trees and paths.
+	forGolden(t, map[string]*graph.Graph{"path": graph.GenPath(12)},
+		func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+			got, err := DiameterEstimate(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 11 {
+				t.Fatalf("path diameter %d, want 11", got)
+			}
+		})
+}
+
+func TestGoldenMSF(t *testing.T) {
+	weighted := map[string]*graph.Graph{
+		"er": graph.WithRandomWeights(graph.GenErdosRenyi(24, 70, 5), 9),
+	}
+	forGolden(t, weighted, func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		var all []MSFEdge
+		g.Edges(func(u, v graph.VID, wt float32) bool {
+			if u < v {
+				all = append(all, MSFEdge{U: u, V: v, W: wt})
+			}
+			return true
+		})
+		ref := kruskal(g.NumVertices(), all)
+		var refW float64
+		for _, e := range ref {
+			refW += float64(e.W)
+		}
+		for _, msf := range []struct {
+			name string
+			f    func(*graph.Graph, ...flash.Option) (MSFResult, error)
+		}{{"msf", MSF}, {"boruvka", MSFBoruvka}} {
+			res, err := msf.f(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Edges) != len(ref) {
+				t.Fatalf("%s: %d forest edges, want %d", msf.name, len(res.Edges), len(ref))
+			}
+			if math.Abs(res.Weight-refW) > 1e-4 {
+				t.Fatalf("%s: weight %g, want %g", msf.name, res.Weight, refW)
+			}
+		}
+	})
+}
+
+func TestGoldenLPA(t *testing.T) {
+	// Two K5 cliques joined by one edge: each clique converges to one label
+	// and the labels differ.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(graph.VID(i), graph.VID(j))
+			b.AddEdge(graph.VID(i+5), graph.VID(j+5))
+		}
+	}
+	b.AddEdge(0, 5)
+	forGolden(t, map[string]*graph.Graph{"cliques": b.Build()},
+		func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+			labels, err := LPA(g, 30, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 1; v < 5; v++ {
+				if labels[v] != labels[1] || labels[v+5] != labels[6] {
+					t.Fatalf("clique fragmented: %v", labels)
+				}
+			}
+		})
+}
+
+func TestGoldenClustering(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		res, err := ClusteringCoefficient(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: triangles through v over deg(v) choose 2; global
+		// transitivity = closed wedges over all wedges.
+		n := g.NumVertices()
+		adj := make([]map[graph.VID]bool, n)
+		for v := 0; v < n; v++ {
+			adj[v] = make(map[graph.VID]bool)
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				adj[v][u] = true
+			}
+		}
+		var closed, wedges float64
+		for v := 0; v < n; v++ {
+			deg := float64(len(adj[v]))
+			tri := 0.0
+			for a := range adj[v] {
+				for bb := range adj[v] {
+					if a < bb && adj[a][bb] {
+						tri++
+					}
+				}
+			}
+			var local float64
+			if deg >= 2 {
+				local = tri / (deg * (deg - 1) / 2)
+				wedges += deg * (deg - 1) / 2
+				closed += tri
+			}
+			if math.Abs(res.Local[v]-local) > 1e-9 {
+				t.Fatalf("local cc[%d] = %g, want %g", v, res.Local[v], local)
+			}
+		}
+		var global float64
+		if wedges > 0 {
+			global = closed / wedges
+		}
+		if math.Abs(res.Global-global) > 1e-9 {
+			t.Fatalf("global cc = %g, want %g", res.Global, global)
+		}
+	})
+}
+
+func TestGoldenAssortativity(t *testing.T) {
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		res, err := Assortativity(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// AvgNeighborDegree oracle: mean neighbor degree.
+		for v := 0; v < g.NumVertices(); v++ {
+			nb := g.OutNeighbors(graph.VID(v))
+			var want float64
+			if len(nb) > 0 {
+				sum := 0.0
+				for _, u := range nb {
+					sum += float64(g.OutDegree(u))
+				}
+				want = sum / float64(len(nb))
+			}
+			if math.Abs(res.AvgNeighborDegree[v]-want) > 1e-9 {
+				t.Fatalf("knn[%d] = %g, want %g", v, res.AvgNeighborDegree[v], want)
+			}
+		}
+		// Coefficient oracle: Pearson over directed edge instances, 0 when
+		// degree variance vanishes (regular graphs).
+		var cnt, sx, sy, sxx, syy, sxy float64
+		g.Edges(func(a, b graph.VID, _ float32) bool {
+			x, y := float64(g.OutDegree(a)), float64(g.OutDegree(b))
+			cnt++
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			return true
+		})
+		var want float64
+		if cnt > 0 {
+			num := sxy/cnt - (sx/cnt)*(sy/cnt)
+			den := math.Sqrt(sxx/cnt-(sx/cnt)*(sx/cnt)) * math.Sqrt(syy/cnt-(sy/cnt)*(sy/cnt))
+			if den > 0 {
+				want = num / den
+			}
+		}
+		if math.Abs(res.Coefficient-want) > 1e-9 {
+			t.Fatalf("assortativity %g, want %g", res.Coefficient, want)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package bench
+
+// The fixed perf suite behind BENCH_flash.json: a deterministic grid of
+// end-to-end algorithm runs (BFS / CC / PageRank / SSSP x mem / tcp x
+// workers {1,2,4} x threads {1,2,4}) plus the sparse-EdgeMap microbenchmark
+// the regression guard in regress_test.go tracks. Every cell reports median
+// wall time, heap allocation deltas, and the transport's traffic counters,
+// so a perf regression shows up as a diff against the committed baseline
+// rather than a vague slowdown.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"flash"
+	"flash/algo"
+	"flash/graph"
+	"flash/metrics"
+)
+
+// perfProps mirrors the root hotpath benchmark's property type so the micro
+// numbers here and `go test -bench=EdgeMapSparse` measure the same kernel.
+type perfProps struct{ Dis int32 }
+
+// MicroStat is one microbenchmark entry in BENCH_flash.json.
+type MicroStat struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// PerfCell is one end-to-end suite entry in BENCH_flash.json.
+type PerfCell struct {
+	Name        string `json:"name"`
+	Algo        string `json:"algo"`
+	Transport   string `json:"transport"`
+	Workers     int    `json:"workers"`
+	Threads     int    `json:"threads"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Messages    uint64 `json:"messages"`
+	BytesSent   uint64 `json:"bytes_sent"`
+	Supersteps  int    `json:"supersteps"`
+}
+
+// PerfSuite is the full BENCH_flash.json document.
+type PerfSuite struct {
+	Schema     string               `json:"schema"`
+	Graph      string               `json:"graph"`
+	Vertices   int                  `json:"vertices"`
+	Edges      int                  `json:"edges"`
+	GoMaxProcs int                  `json:"go_maxprocs"`
+	Reps       int                  `json:"reps"`
+	Micro      map[string]MicroStat `json:"micro"`
+	Suite      []PerfCell           `json:"suite"`
+}
+
+// MicroSparse benchmarks one sparse (push-mode) EdgeMap superstep on the OR
+// social analog with a seeded mid-size frontier — the same setup as the root
+// BenchmarkEdgeMapSparse, callable from the harness and the regress guard.
+func MicroSparse(workers, threads int) testing.BenchmarkResult {
+	g := graph.GenRMAT(4096, 4096*12, 101)
+	return testing.Benchmark(func(b *testing.B) {
+		e, err := flash.NewEngine[perfProps](g,
+			flash.WithWorkers(workers), flash.WithThreads(threads))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		e.VertexMap(e.All(), nil, func(v flash.Vertex[perfProps]) perfProps {
+			return perfProps{Dis: int32(v.ID) % 64}
+		})
+		ids := make([]flash.VID, 0, g.NumVertices()/16)
+		for v := 0; v < g.NumVertices(); v += 16 {
+			ids = append(ids, flash.VID(v))
+		}
+		u := e.FromIDs(ids...)
+		update := func(s, d flash.Vertex[perfProps]) perfProps {
+			if nd := s.Val.Dis + 1; nd < d.Val.Dis {
+				return perfProps{Dis: nd}
+			}
+			return *d.Val
+		}
+		reduce := func(t, cur perfProps) perfProps {
+			if t.Dis < cur.Dis {
+				return t
+			}
+			return cur
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.EdgeMapSparse(u, e.E(), nil, update, nil, reduce)
+		}
+	})
+}
+
+// perfAlgo is one algorithm of the fixed grid. run executes a full job with
+// the supplied engine options and must do all work before returning.
+type perfAlgo struct {
+	name string
+	run  func(opts []flash.Option) error
+}
+
+func fixedAlgos(g, weighted *graph.Graph) []perfAlgo {
+	return []perfAlgo{
+		{"bfs", func(o []flash.Option) error { _, err := algo.BFS(g, 0, o...); return err }},
+		{"cc", func(o []flash.Option) error { _, err := algo.CC(g, o...); return err }},
+		{"pagerank", func(o []flash.Option) error { _, err := algo.PageRank(g, 10, 0, o...); return err }},
+		{"sssp", func(o []flash.Option) error { _, err := algo.SSSP(weighted, 0, o...); return err }},
+	}
+}
+
+// FixedSuite runs the whole grid with one warmup plus reps timed repetitions
+// per cell and returns the populated document.
+func FixedSuite(reps int) (*PerfSuite, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	g := graph.GenRMAT(4096, 4096*12, 101)
+	weighted := graph.WithRandomWeights(g, 9)
+	s := &PerfSuite{
+		Schema:     "flash-bench/v1",
+		Graph:      "rmat-4096x12-seed101 (OR analog)",
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Micro:      map[string]MicroStat{},
+	}
+	for _, c := range []struct{ w, t int }{{1, 1}, {4, 1}, {4, 4}} {
+		r := MicroSparse(c.w, c.t)
+		s.Micro[fmt.Sprintf("edgemap_sparse_w%dt%d", c.w, c.t)] = MicroStat{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	for _, a := range fixedAlgos(g, weighted) {
+		for _, transport := range []string{"mem", "tcp"} {
+			for _, w := range []int{1, 2, 4} {
+				for _, th := range []int{1, 2, 4} {
+					cell, err := runPerfCell(a, transport, w, th, reps)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %w", cell.Name, err)
+					}
+					s.Suite = append(s.Suite, cell)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// runPerfCell times one (algo, transport, workers, threads) configuration:
+// one discarded warmup run, then reps measured runs. Wall time is the median
+// rep; allocation deltas come from runtime.MemStats around the median run's
+// position; traffic counters come from the last rep's collector.
+func runPerfCell(a perfAlgo, transport string, workers, threads, reps int) (PerfCell, error) {
+	cell := PerfCell{
+		Name:      fmt.Sprintf("%s/%s/w%dt%d", a.name, transport, workers, threads),
+		Algo:      a.name,
+		Transport: transport,
+		Workers:   workers,
+		Threads:   threads,
+	}
+	baseOpts := []flash.Option{flash.WithWorkers(workers), flash.WithThreads(threads)}
+	if transport == "tcp" {
+		baseOpts = append(baseOpts, flash.WithTCP())
+	}
+	if err := a.run(baseOpts); err != nil { // warmup
+		return cell, err
+	}
+	ns := make([]int64, 0, reps)
+	allocs := make([]int64, 0, reps)
+	bytes := make([]int64, 0, reps)
+	var col *metrics.Collector
+	for i := 0; i < reps; i++ {
+		col = metrics.New()
+		opts := append(append([]flash.Option{}, baseOpts...), flash.WithCollector(col))
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := a.run(opts); err != nil {
+			return cell, err
+		}
+		ns = append(ns, time.Since(start).Nanoseconds())
+		runtime.ReadMemStats(&after)
+		allocs = append(allocs, int64(after.Mallocs-before.Mallocs))
+		bytes = append(bytes, int64(after.TotalAlloc-before.TotalAlloc))
+	}
+	cell.NsPerOp = median(ns)
+	cell.AllocsPerOp = median(allocs)
+	cell.BytesPerOp = median(bytes)
+	cell.Messages = col.Messages
+	cell.BytesSent = col.Bytes
+	cell.Supersteps = col.Supersteps
+	return cell, nil
+}
+
+func median(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// WritePerfJSON writes the suite as indented JSON.
+func WritePerfJSON(path string, s *PerfSuite) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPerfJSON loads a committed baseline. A missing file is reported via
+// os.IsNotExist so callers (the regress guard) can skip.
+func ReadPerfJSON(path string) (*PerfSuite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s PerfSuite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// PrintPerf renders the suite for humans.
+func PrintPerf(w io.Writer, s *PerfSuite) {
+	fmt.Fprintf(w, "graph %s: %d vertices, %d edges (GOMAXPROCS=%d, reps=%d)\n",
+		s.Graph, s.Vertices, s.Edges, s.GoMaxProcs, s.Reps)
+	keys := make([]string, 0, len(s.Micro))
+	for k := range s.Micro {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m := s.Micro[k]
+		fmt.Fprintf(w, "%-28s %12d ns/op %10d B/op %8d allocs/op\n",
+			k, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	for _, c := range s.Suite {
+		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",
+			c.Name, c.NsPerOp, c.AllocsPerOp, c.BytesSent, c.Messages, c.Supersteps)
+	}
+}

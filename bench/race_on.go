@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled gates allocation-sensitive tests: the race detector
+// instruments allocations and would trip the regression thresholds.
+const raceEnabled = true

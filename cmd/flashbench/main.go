@@ -4,9 +4,15 @@
 //
 //	flashbench -exp tableV  [-scale N] [-workers N] [-budget 60s] [-datasets OR,TW]
 //	flashbench -exp all     # every experiment in sequence
+//	flashbench -exp fixed   [-reps 3] [-out BENCH_flash.json]
 //
 // Experiments: tableI, tableIII, tableV, tableVI, fig1, fig3, fig4a, fig4b,
-// fig4cd, breakdown, ablation, ccopt, all.
+// fig4cd, breakdown, ablation, ccopt, all, fixed.
+//
+// "fixed" runs the deterministic perf-regression suite (BFS/CC/PageRank/SSSP
+// x mem/tcp x workers {1,2,4} x threads {1,2,4} plus the sparse-EdgeMap
+// microbenchmark) and writes BENCH_flash.json, the baseline that
+// bench/regress_test.go guards.
 package main
 
 import (
@@ -29,8 +35,24 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset abbreviations (default all)")
 		lpaIter  = flag.Int("lpa-iters", 10, "LPA iterations")
 		clK      = flag.Int("cl-k", 4, "clique size for CL")
+		reps     = flag.Int("reps", 3, "timed repetitions per fixed-suite cell")
+		out      = flag.String("out", "BENCH_flash.json", "output path for -exp fixed")
 	)
 	flag.Parse()
+
+	if *exp == "fixed" {
+		suite, err := bench.FixedSuite(*reps)
+		if err == nil {
+			err = bench.WritePerfJSON(*out, suite)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashbench:", err)
+			os.Exit(1)
+		}
+		bench.PrintPerf(os.Stdout, suite)
+		fmt.Printf("\nwrote %s\n", *out)
+		return
+	}
 
 	opt := bench.Options{
 		Scale:  *scale,

@@ -26,11 +26,17 @@ type Marshaler interface {
 }
 
 // CodecFor returns the best codec for V: a wrapper around V's Marshaler
-// implementation when present, otherwise a reflection-built binary codec.
+// implementation when present, otherwise the allocation-free FixedCodec for
+// flat fixed-width types, otherwise a reflection-built binary codec. Fixed
+// and reflect codecs share one wire format, so the choice is invisible on the
+// wire.
 func CodecFor[V any]() Codec[V] {
 	var v V
 	if _, ok := any(&v).(Marshaler); ok {
 		return marshalerCodec[V]{}
+	}
+	if fc, ok := NewFixedCodec[V](); ok {
+		return fc
 	}
 	return NewReflectCodec[V]()
 }

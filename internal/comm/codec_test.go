@@ -158,8 +158,11 @@ func TestCodecForPrefersMarshaler(t *testing.T) {
 	if got.X != 0xDEADBEEF {
 		t.Fatalf("got %x", got.X)
 	}
-	if _, ok := CodecFor[flatProps]().(*ReflectCodec[flatProps]); !ok {
-		t.Fatal("CodecFor for plain struct should use reflection codec")
+	if _, ok := CodecFor[flatProps]().(*FixedCodec[flatProps]); !ok {
+		t.Fatal("CodecFor for flat struct should use the fixed codec")
+	}
+	if _, ok := CodecFor[sliceProps]().(*ReflectCodec[sliceProps]); !ok {
+		t.Fatal("CodecFor for slice-bearing struct should use reflection codec")
 	}
 }
 

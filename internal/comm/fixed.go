@@ -1,0 +1,167 @@
+package comm
+
+import (
+	"encoding/binary"
+	"reflect"
+	"unsafe"
+)
+
+// FixedCodec encodes flat fixed-width property types (bools, sized ints and
+// floats, nested structs and arrays thereof) through precomputed unsafe field
+// offsets — no reflect.Value boxing per record, which is what made the
+// reflection codec allocate on every decode of the hot exchange path. The
+// wire format is byte-identical to ReflectCodec's for the supported kinds
+// (little-endian fixed width, declaration order, no padding), so the two
+// codecs interoperate and tests can cross-check them.
+type FixedCodec[V any] struct {
+	fields []fixedField
+	wire   int // total encoded size
+}
+
+type fixedKind uint8
+
+const (
+	fxBool fixedKind = iota
+	fx8
+	fx16
+	fx32
+	fx64
+	fxInt  // platform int, 8 bytes on the wire
+	fxUint // platform uint, 8 bytes on the wire
+)
+
+type fixedField struct {
+	off  uintptr
+	kind fixedKind
+}
+
+// NewFixedCodec builds a FixedCodec for V, reporting ok=false when V contains
+// variable-length or reference kinds (strings, slices, maps, pointers) that
+// need ReflectCodec.
+func NewFixedCodec[V any]() (*FixedCodec[V], bool) {
+	var v V
+	t := reflect.TypeOf(v)
+	if t == nil {
+		return nil, false
+	}
+	c := &FixedCodec[V]{}
+	if !c.plan(t, 0) {
+		return nil, false
+	}
+	return c, true
+}
+
+// plan flattens t (rooted at byte offset off within V) into the field list,
+// returning false on an unsupported kind.
+func (c *FixedCodec[V]) plan(t reflect.Type, off uintptr) bool {
+	add := func(k fixedKind, size int) bool {
+		c.fields = append(c.fields, fixedField{off: off, kind: k})
+		c.wire += size
+		return true
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return add(fxBool, 1)
+	case reflect.Int8, reflect.Uint8:
+		return add(fx8, 1)
+	case reflect.Int16, reflect.Uint16:
+		return add(fx16, 2)
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return add(fx32, 4)
+	case reflect.Int64, reflect.Uint64, reflect.Float64:
+		return add(fx64, 8)
+	case reflect.Int:
+		return add(fxInt, 8)
+	case reflect.Uint:
+		return add(fxUint, 8)
+	case reflect.Array:
+		es := t.Elem().Size()
+		for i := 0; i < t.Len(); i++ {
+			if !c.plan(t.Elem(), off+uintptr(i)*es) {
+				return false
+			}
+		}
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				return false // unexported: let ReflectCodec produce its panic
+			}
+			if !c.plan(f.Type, off+f.Offset) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// WireSize returns the fixed encoded size of one value.
+func (c *FixedCodec[V]) WireSize() int { return c.wire }
+
+func (c *FixedCodec[V]) Append(dst []byte, v *V) []byte {
+	p := unsafe.Pointer(v)
+	for i := range c.fields {
+		f := &c.fields[i]
+		q := unsafe.Add(p, f.off)
+		switch f.kind {
+		case fxBool:
+			b := byte(0)
+			if *(*bool)(q) {
+				b = 1
+			}
+			dst = append(dst, b)
+		case fx8:
+			dst = append(dst, *(*byte)(q))
+		case fx16:
+			dst = binary.LittleEndian.AppendUint16(dst, *(*uint16)(q))
+		case fx32:
+			dst = binary.LittleEndian.AppendUint32(dst, *(*uint32)(q))
+		case fx64:
+			dst = binary.LittleEndian.AppendUint64(dst, *(*uint64)(q))
+		case fxInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(*(*int)(q))))
+		case fxUint:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*(*uint)(q)))
+		}
+	}
+	return dst
+}
+
+func (c *FixedCodec[V]) Decode(src []byte, v *V) (int, error) {
+	if len(src) < c.wire {
+		return 0, errShort
+	}
+	p := unsafe.Pointer(v)
+	off := 0
+	for i := range c.fields {
+		f := &c.fields[i]
+		q := unsafe.Add(p, f.off)
+		switch f.kind {
+		case fxBool:
+			*(*bool)(q) = src[off] != 0
+			off++
+		case fx8:
+			*(*byte)(q) = src[off]
+			off++
+		case fx16:
+			*(*uint16)(q) = binary.LittleEndian.Uint16(src[off:])
+			off += 2
+		case fx32:
+			*(*uint32)(q) = binary.LittleEndian.Uint32(src[off:])
+			off += 4
+		case fx64:
+			*(*uint64)(q) = binary.LittleEndian.Uint64(src[off:])
+			off += 8
+		case fxInt:
+			*(*int)(q) = int(int64(binary.LittleEndian.Uint64(src[off:])))
+			off += 8
+		case fxUint:
+			*(*uint)(q) = uint(binary.LittleEndian.Uint64(src[off:]))
+			off += 8
+		}
+	}
+	return off, nil
+}

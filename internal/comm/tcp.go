@@ -252,7 +252,7 @@ func (t *TCP) readLoop(me, peer int, c net.Conn) {
 		}
 		var data []byte
 		if n > 0 {
-			data = make([]byte, n)
+			data = GetBufN(int(n)) // recycled by hub.Drain after delivery
 			if _, err := io.ReadFull(r, data); err != nil {
 				t.readClosed(me, peer, err, true)
 				return

@@ -32,7 +32,10 @@ type Transport interface {
 	// EndRound marks `from` as finished sending for its current round.
 	EndRound(from int) error
 	// Drain delivers all data frames of `to`'s current round and advances
-	// the round. h must not retain data beyond the call. Drain fails with
+	// the round. h must not retain data beyond the call: delivered frames
+	// are recycled into the frame pool (PutBuf) after h returns, so a Send
+	// caller must hold no references either — a buffer shipped to several
+	// destinations must be cloned per destination. Drain fails with
 	// ErrPeerStalled when no frame arrives within the drain timeout, and
 	// with the abort error after Abort.
 	Drain(to int, h func(from int, data []byte)) error
@@ -236,6 +239,7 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
 					pending--
 				} else {
 					h(f.from, f.data)
+					PutBuf(f.data) // delivered exactly once: recycle
 				}
 			} else {
 				keep = append(keep, f)
@@ -257,6 +261,7 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
 			pending--
 		} else {
 			h(f.from, f.data)
+			PutBuf(f.data)
 		}
 	}
 	t.recvRd[to] = r + 1

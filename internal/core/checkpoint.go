@@ -201,11 +201,11 @@ func (e *Engine[V]) restoreCheckpoint() {
 		copy(w.cur, e.ckpt.cur[i])
 		w.frontier.CopyFrom(e.ckpt.frontier[i])
 		w.nextSet.Reset()
-		w.accSet.Reset()
-		w.pendSet.Reset()
-		for j := range w.outBufs {
-			w.outBufs[j] = nil
+		for t := range w.acc {
+			w.acc[t].set.Reset()
 		}
+		w.pendSet.Reset()
+		w.discardEnc() // unshipped frames back to the pool, delta bases reset
 	}
 	if e.ckpt.hasDrv && e.ckptRestore != nil {
 		e.ckptRestore(e.ckpt.driver)

@@ -3,9 +3,11 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"flash/graph"
+	"flash/internal/comm"
 	"flash/metrics"
 )
 
@@ -87,13 +89,15 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 		return e.parallelWorkers(func(w *worker[V]) error {
 			membership := U.local[w.id]
 
-			// Phase 1: push along out-edges, accumulating per-target partials.
-			w.accSet.Reset()
+			// Phase 1: push along out-edges, accumulating per-target partials
+			// into per-thread shards — no locks on the per-edge path. The
+			// push closure is hoisted out of the source loop (one allocation
+			// per chunk, not per source).
+			w.acc[0].set.Reset()
 			w.timeBlock(metrics.Compute, func() {
-				w.forEachMember(membership, U.Size(), func(l int) {
-					u := e.place.GlobalID(w.id, l)
-					uv := w.vtx(u)
-					H.Out(&w.ctx, u, func(d graph.VID, wt float32) bool {
+				visitor := func(a *accShard[V]) func(l int) {
+					var uv Vtx[V]
+					push := func(d graph.VID, wt float32) bool {
 						dv := w.vtx(d)
 						if C != nil && !C(dv) {
 							return true
@@ -102,31 +106,56 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 							return true
 						}
 						t := M(uv, dv, wt)
-						stripe := &w.stripes[(int(d)>>6)&255]
-						stripe.Lock()
-						if w.accSet.TestAndSet(int(d)) {
-							w.accVal[d] = R(t, w.accVal[d])
+						if a.set.TestAndSet(int(d)) {
+							a.val[d] = R(t, a.val[d])
 						} else {
-							w.accVal[d] = t
+							a.val[d] = t
 						}
-						stripe.Unlock()
+						return true
+					}
+					return func(l int) {
+						u := e.place.GlobalID(w.id, l)
+						uv = w.vtx(u)
+						H.Out(&w.ctx, u, push)
+					}
+				}
+				// Same density rule as forEachMember: bit-walk sparse
+				// frontiers sequentially, scan dense ones across threads.
+				if e.cfg.Threads == 1 || U.Size()*16 < membership.Cap() {
+					f := visitor(&w.acc[0])
+					membership.Range(func(l int) bool {
+						f(l)
 						return true
 					})
-				})
+				} else {
+					w.parforT(membership.Cap(), func(t, lo, hi int) {
+						f := visitor(&w.acc[t])
+						for l := lo; l < hi; l++ {
+							if membership.Test(l) {
+								f(l)
+							}
+						}
+					})
+					w.mergeAcc(R)
+				}
 			})
 
 			// Phase 2: route partials to target masters (exchange round 1).
+			// The bitset walk is ascending, so every destination's frame
+			// carries sorted vids: message bytes are deterministic and the
+			// delta encoding stays tight.
 			w.pendSet.Reset()
 			sstart := time.Now()
 			msgs := 0
 			var sendErr error
-			w.accSet.Range(func(d int) bool {
+			acc := &w.acc[0]
+			acc.set.Range(func(d int) bool {
 				gid := graph.VID(d)
 				o := e.place.Owner(gid)
 				if o == w.id {
-					w.foldPend(e.place.LocalIndex(gid), w.accVal[d], R)
+					w.foldPend(e.place.LocalIndex(gid), &acc.val[d], R)
 				} else {
-					if sendErr = w.appendKV(o, gid, &w.accVal[d]); sendErr != nil {
+					if sendErr = w.appendKV(o, gid, &acc.val[d]); sendErr != nil {
 						return false
 					}
 					msgs++
@@ -144,20 +173,30 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 			if err := e.tr.EndRound(w.id); err != nil {
 				return err
 			}
-			if err := w.drainKV(func(gid graph.VID, val V) {
+			if err := w.drainKV(func(gid graph.VID, val *V) {
 				w.foldPend(e.place.LocalIndex(gid), val, R)
 			}); err != nil {
 				return err
 			}
 
-			// Phase 3: masters apply the reduction against current values.
+			// Phase 3: masters apply the reduction against current values,
+			// in parallel over 64-aligned chunks (distinct local indices map
+			// to distinct masters, so cur writes never collide).
 			outBits := out.local[w.id]
 			w.timeBlock(metrics.Compute, func() {
-				w.pendSet.Range(func(l int) bool {
-					gid := e.place.GlobalID(w.id, l)
-					w.cur[gid] = R(w.pendVal[l], w.cur[gid])
-					outBits.Set(l)
-					return true
+				pendWords := w.pendSet.Words()
+				w.parfor(w.pendSet.Cap(), func(lo, hi int) {
+					for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+						word := pendWords[wi]
+						base := wi << 6
+						for word != 0 {
+							l := base + bits.TrailingZeros64(word)
+							word &= word - 1
+							gid := e.place.GlobalID(w.id, l)
+							w.cur[gid] = R(w.pendVal[l], w.cur[gid])
+							outBits.Set(l)
+						}
+					}
 				})
 			})
 
@@ -170,12 +209,46 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 	})
 }
 
-// foldPend merges an incoming partial for local master l.
-func (w *worker[V]) foldPend(l int, val V, R EdgeR[V]) {
+// mergeAcc folds the phase-1 shards of threads 1.. into shard 0, parallel
+// over 64-aligned chunks of the global id space (concurrent bitset writes
+// stay word-disjoint). Shard words are consumed (zeroed) as they merge, so
+// only shard 0 needs resetting next superstep. The fold visits threads in
+// ascending order, keeping the reduction order deterministic for a fixed
+// Threads setting.
+func (w *worker[V]) mergeAcc(R EdgeR[V]) {
+	a0 := &w.acc[0]
+	w.parfor(a0.set.Cap(), func(lo, hi int) {
+		for t := 1; t < len(w.acc); t++ {
+			a := &w.acc[t]
+			words := a.set.Words()
+			for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+				word := words[wi]
+				if word == 0 {
+					continue
+				}
+				words[wi] = 0
+				base := wi << 6
+				for word != 0 {
+					d := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					if a0.set.TestAndSet(d) {
+						a0.val[d] = R(a.val[d], a0.val[d])
+					} else {
+						a0.val[d] = a.val[d]
+					}
+				}
+			}
+		}
+	})
+}
+
+// foldPend merges an incoming partial for local master l. It copies the
+// value, so callers may pass pointers into decode scratch or accumulators.
+func (w *worker[V]) foldPend(l int, val *V, R EdgeR[V]) {
 	if w.pendSet.TestAndSet(l) {
-		w.pendVal[l] = R(val, w.pendVal[l])
+		w.pendVal[l] = R(*val, w.pendVal[l])
 	} else {
-		w.pendVal[l] = val
+		w.pendVal[l] = *val
 	}
 }
 
@@ -204,26 +277,33 @@ func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V]
 			updated.Reset()
 			w.timeBlock(metrics.Compute, func() {
 				w.parfor(e.place.LocalCount(w.id), func(lo, hi int) {
+					// The pull closure is hoisted out of the target loop and
+					// mutates chunk-local state: one allocation per chunk
+					// instead of one per local master.
+					var work V
+					var dv Vtx[V]
+					applied := false
+					pull := func(s graph.VID, wt float32) bool {
+						if C != nil && !C(dv) {
+							return false
+						}
+						if !w.frontier.Test(int(s)) {
+							return true
+						}
+						sv := w.vtx(s)
+						if F != nil && !F(sv, dv, wt) {
+							return true
+						}
+						work = M(sv, dv, wt)
+						applied = true
+						return true
+					}
 					for l := lo; l < hi; l++ {
 						gid := e.place.GlobalID(w.id, l)
-						work := w.cur[gid]
-						dv := w.vtxAt(gid, &work)
-						applied := false
-						H.In(&w.ctx, gid, func(s graph.VID, wt float32) bool {
-							if C != nil && !C(dv) {
-								return false
-							}
-							if !w.frontier.Test(int(s)) {
-								return true
-							}
-							sv := w.vtx(s)
-							if F != nil && !F(sv, dv, wt) {
-								return true
-							}
-							work = M(sv, dv, wt)
-							applied = true
-							return true
-						})
+						work = w.cur[gid]
+						dv = w.vtxAt(gid, &work)
+						applied = false
+						H.In(&w.ctx, gid, pull)
 						if applied {
 							w.next[l] = work
 							updated.Set(l)
@@ -231,11 +311,7 @@ func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V]
 						}
 					}
 				})
-				// Publish next states after local scan completes.
-				updated.Range(func(l int) bool {
-					w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
-					return true
-				})
+				w.publishNext(updated)
 			})
 			if scope != scopeNone {
 				return w.syncMasters(updated, scope)
@@ -265,17 +341,20 @@ func (w *worker[V]) broadcastFrontier(U *Subset) error {
 		hi--
 	}
 	if hi > lo {
-		payload := make([]byte, 4+8*(hi-lo))
-		binary.LittleEndian.PutUint32(payload, uint32(lo))
-		for i, wd := range words[lo:hi] {
-			binary.LittleEndian.PutUint64(payload[4+8*i:], wd)
-		}
+		// One pooled payload per destination: delivered frames are recycled
+		// by the receiver's drain, so destinations must not share a buffer.
 		for to := 0; to < e.cfg.Workers; to++ {
-			if to != w.id {
-				if err := w.send(to, payload); err != nil {
-					w.met.Add(metrics.Serialization, time.Since(sstart))
-					return err
-				}
+			if to == w.id {
+				continue
+			}
+			payload := comm.GetBufN(4 + 8*(hi-lo))
+			binary.LittleEndian.PutUint32(payload, uint32(lo))
+			for i, wd := range words[lo:hi] {
+				binary.LittleEndian.PutUint64(payload[4+8*i:], wd)
+			}
+			if err := w.send(to, payload); err != nil {
+				w.met.Add(metrics.Serialization, time.Since(sstart))
+				return err
 			}
 		}
 		w.met.AddTraffic(uint64(e.cfg.Workers-1), 0)

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -205,13 +206,13 @@ type worker[V any] struct {
 	next    []V
 	nextSet *bitset.Bitset
 
-	// Sparse-kernel accumulators over the global id space, reused across
-	// steps: accSet marks targets with a pending partial update in accVal.
-	accVal []V
-	accSet *bitset.Bitset
-	// stripes serialize concurrent accumulator updates; striped by bitset
-	// word so Test/Set on the same word are also serialized.
-	stripes [256]sync.Mutex
+	// acc holds the sparse-kernel accumulators over the global id space,
+	// reused across steps: one (values, membership) shard per thread, so
+	// phase-1 pushes never lock — threads accumulate privately and mergeAcc
+	// folds shards 1.. into shard 0 at 64-aligned chunk boundaries. With
+	// Threads=1 only shard 0 exists and the layout matches the old
+	// single-accumulator design.
+	acc []accShard[V]
 
 	// pend* accumulate partial updates arriving at this master (by local
 	// index) during the sparse exchange.
@@ -222,11 +223,23 @@ type worker[V any] struct {
 	// the dense kernel.
 	frontier *bitset.Bitset
 
-	// outBufs are per-destination encode buffers for the current round.
-	outBufs [][]byte
+	// outKV are the per-destination KV frame encoders for the current round
+	// (pool-backed; frames are recycled by the receiver's drain).
+	outKV []comm.KVWriter[V]
+
+	// encKV/encMsgs are the per-(thread, destination) encoders the parallel
+	// mirror-sync path shards over; nil when Threads == 1.
+	encKV   [][]comm.KVWriter[V]
+	encMsgs []int
 
 	met *metrics.Collector
 	ctx Ctx[V]
+}
+
+// accShard is one thread's private phase-1 accumulator.
+type accShard[V any] struct {
+	val []V
+	set *bitset.Bitset
 }
 
 // NewEngine partitions g and allocates per-worker state.
@@ -279,13 +292,28 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 			cur:      make([]V, n),
 			next:     make([]V, place.LocalCount(wi)),
 			nextSet:  bitset.New(place.LocalCount(wi)),
-			accVal:   make([]V, n),
-			accSet:   bitset.New(n),
+			acc:      make([]accShard[V], cfg.Threads),
 			pendVal:  make([]V, place.LocalCount(wi)),
 			pendSet:  bitset.New(place.LocalCount(wi)),
 			frontier: bitset.New(n),
-			outBufs:  make([][]byte, cfg.Workers),
+			outKV:    make([]comm.KVWriter[V], cfg.Workers),
 			met:      metrics.New(),
+		}
+		for t := range w.acc {
+			w.acc[t] = accShard[V]{val: make([]V, n), set: bitset.New(n)}
+		}
+		for to := range w.outKV {
+			w.outKV[to].Init(e.codec)
+		}
+		if cfg.Threads > 1 {
+			w.encKV = make([][]comm.KVWriter[V], cfg.Threads)
+			w.encMsgs = make([]int, cfg.Threads)
+			for t := range w.encKV {
+				w.encKV[t] = make([]comm.KVWriter[V], cfg.Workers)
+				for to := range w.encKV[t] {
+					w.encKV[t][to].Init(e.codec)
+				}
+			}
 		}
 		w.ctx = Ctx[V]{G: g, w: w}
 		e.workers[wi] = w
@@ -383,6 +411,8 @@ func (p *workerPanic) Error() string {
 // send ships one frame with retry: transient failures back off exponentially
 // (capped) up to cfg.SendRetries attempts, counting retries — and, after a
 // dropped connection heals, reconnects — into the worker's metric shard.
+// Payload bytes are counted on the first successful send, so the collector's
+// Bytes reflects delivered traffic, not retry amplification.
 func (w *worker[V]) send(to int, data []byte) error {
 	e := w.eng
 	backoff := e.cfg.RetryBackoff
@@ -393,6 +423,7 @@ func (w *worker[V]) send(to int, data []byte) error {
 			if sawDrop {
 				w.met.AddReconnects(1)
 			}
+			w.met.AddTraffic(0, uint64(len(data)))
 			return nil
 		}
 		if !comm.IsTransient(err) || attempt >= e.cfg.SendRetries {
@@ -413,26 +444,53 @@ func (w *worker[V]) send(to int, data []byte) error {
 // and runs them concurrently. Alignment guarantees concurrent bitset writes
 // on disjoint chunks never touch the same word.
 func (w *worker[V]) parfor(total int, f func(lo, hi int)) {
+	w.parforT(total, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// parforT is parfor with a stable chunk index t passed to f, for callers
+// keeping per-thread scratch (accumulator shards, encode buffers). The chunk
+// size ceil(total/Threads) rounded up to 64 guarantees t < Config.Threads.
+func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 	threads := w.eng.cfg.Threads
 	if threads == 1 || total < 128 {
-		f(0, total)
+		f(0, 0, total)
 		return
 	}
 	chunk := (total + threads - 1) / threads
 	chunk = (chunk + 63) &^ 63
 	var wg sync.WaitGroup
+	t := 0
 	for lo := 0; lo < total; lo += chunk {
 		hi := lo + chunk
 		if hi > total {
 			hi = total
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(t, lo, hi int) {
 			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
+			f(t, lo, hi)
+		}(t, lo, hi)
+		t++
 	}
 	wg.Wait()
+}
+
+// publishNext copies the buffered next states of the updated masters into
+// cur, parallel over 64-aligned chunks (distinct local indices map to
+// distinct masters, so the writes never collide).
+func (w *worker[V]) publishNext(updated *bitset.Bitset) {
+	words := updated.Words()
+	w.parfor(updated.Cap(), func(lo, hi int) {
+		for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+			word := words[wi]
+			base := wi << 6
+			for word != 0 {
+				l := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				w.cur[w.eng.place.GlobalID(w.id, l)] = w.next[l]
+			}
+		}
+	})
 }
 
 // forEachMember visits the local indices in membership, choosing between a

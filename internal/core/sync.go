@@ -1,12 +1,12 @@
 package core
 
 import (
-	"encoding/binary"
-	"fmt"
+	"math/bits"
 	"time"
 
 	"flash/graph"
 	"flash/internal/bitset"
+	"flash/internal/comm"
 	"flash/metrics"
 )
 
@@ -35,29 +35,24 @@ func (e *Engine[V]) scopeFor(physical bool, noSync bool) syncScope {
 	}
 }
 
-// appendKV encodes (gid, *val) into the buffer for `to`, flushing eagerly
-// when BatchBytes is exceeded so transfer overlaps remaining work.
+// appendKV encodes (gid, *val) into the KV frame for `to`, flushing eagerly
+// when BatchBytes is exceeded so transfer overlaps remaining work. Callers
+// must append in ascending gid order per destination — the frame's vid
+// deltas then stay small and the message bytes are deterministic.
 func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
-	buf := w.outBufs[to]
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(gid))
-	buf = w.eng.codec.Append(buf, val)
-	if bb := w.eng.cfg.BatchBytes; bb > 0 && len(buf) >= bb {
-		if err := w.send(to, buf); err != nil {
-			w.outBufs[to] = nil
-			return err
-		}
-		buf = nil
+	kw := &w.outKV[to]
+	kw.Append(uint32(gid), val)
+	if bb := w.eng.cfg.BatchBytes; bb > 0 && kw.Len() >= bb {
+		return w.send(to, kw.Take())
 	}
-	w.outBufs[to] = buf
 	return nil
 }
 
-// flushAll sends every non-empty buffer.
+// flushAll sends every non-empty pending KV frame.
 func (w *worker[V]) flushAll() error {
-	for to, buf := range w.outBufs {
-		if len(buf) > 0 {
-			w.outBufs[to] = nil
-			if err := w.send(to, buf); err != nil {
+	for to := range w.outKV {
+		if w.outKV[to].Len() > 0 {
+			if err := w.send(to, w.outKV[to].Take()); err != nil {
 				return err
 			}
 		}
@@ -71,34 +66,19 @@ func (w *worker[V]) flushAll() error {
 // is a superstep failure, not a panic: the remaining frames are still
 // drained to keep the round consistent, and the first decode error is
 // returned alongside transport failures (stall, abort).
-func (w *worker[V]) drainKV(apply func(gid graph.VID, val V)) error {
+func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 	var decode time.Duration
 	var decodeErr error
+	codec := w.eng.codec
 	start := time.Now()
 	drainErr := w.eng.tr.Drain(w.id, func(_ int, data []byte) {
 		dstart := time.Now()
-		defer func() { decode += time.Since(dstart) }()
-		off := 0
-		for off < len(data) {
-			if len(data)-off < 4 {
-				if decodeErr == nil {
-					decodeErr = fmt.Errorf("core: truncated sync frame header (%d trailing bytes)", len(data)-off)
-				}
-				return
-			}
-			gid := graph.VID(binary.LittleEndian.Uint32(data[off:]))
-			off += 4
-			var val V
-			n, err := w.eng.codec.Decode(data[off:], &val)
-			if err != nil {
-				if decodeErr == nil {
-					decodeErr = fmt.Errorf("core: corrupt sync frame: %w", err)
-				}
-				return
-			}
-			off += n
-			apply(gid, val)
+		if err := comm.DecodeKV(codec, data, func(vid uint32, val *V) {
+			apply(graph.VID(vid), val)
+		}); err != nil && decodeErr == nil {
+			decodeErr = err
 		}
+		decode += time.Since(dstart)
 	})
 	w.met.Add(metrics.Communication, time.Since(start)-decode)
 	w.met.Add(metrics.Serialization, decode)
@@ -112,37 +92,23 @@ func (w *worker[V]) drainKV(apply func(gid graph.VID, val V)) error {
 // workers holding their mirrors (one exchange round), and applies incoming
 // values from other masters to local mirrors. Must be called by every worker
 // of the engine with the same scope, even when a worker updated nothing.
+//
+// With Threads > 1 the encode fans out over per-(thread, destination) frames
+// along 64-aligned chunks of the local index space and the frames are sent
+// in fixed (destination, thread) order after the scan, so the per-receiver
+// byte stream stays deterministic; BatchBytes overlap applies only to the
+// sequential path.
 func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	if scope != scopeNone {
-		sstart := time.Now()
-		msgs := 0
-		var sendErr error
-		updated.Range(func(l int) bool {
-			gid := e.place.GlobalID(w.id, l)
-			if scope == scopeBroadcast {
-				for to := 0; to < e.cfg.Workers; to++ {
-					if to != w.id {
-						if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
-							return false
-						}
-						msgs++
-					}
-				}
-			} else {
-				for _, to := range w.part.MirrorWorkers[l] {
-					if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
-						return false
-					}
-					msgs++
-				}
-			}
-			return true
-		})
-		w.met.Add(metrics.Serialization, time.Since(sstart))
-		w.met.AddTraffic(uint64(msgs), 0)
-		if sendErr != nil {
-			return sendErr
+		var err error
+		if e.cfg.Threads > 1 {
+			err = w.encodeSyncParallel(updated, scope)
+		} else {
+			err = w.encodeSyncSeq(updated, scope)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	if err := w.flushAll(); err != nil {
@@ -151,7 +117,113 @@ func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	if err := e.tr.EndRound(w.id); err != nil {
 		return err
 	}
-	return w.drainKV(func(gid graph.VID, val V) {
-		w.cur[gid] = val
+	return w.drainKV(func(gid graph.VID, val *V) {
+		w.cur[gid] = *val
 	})
+}
+
+// encodeSyncSeq is the single-threaded encode: one ascending pass over the
+// updated masters, streaming into the per-destination frames (with eager
+// BatchBytes flushing).
+func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error {
+	e := w.eng
+	sstart := time.Now()
+	msgs := 0
+	var sendErr error
+	updated.Range(func(l int) bool {
+		gid := e.place.GlobalID(w.id, l)
+		if scope == scopeBroadcast {
+			for to := 0; to < e.cfg.Workers; to++ {
+				if to != w.id {
+					if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
+						return false
+					}
+					msgs++
+				}
+			}
+		} else {
+			for _, to := range w.part.MirrorWorkers[l] {
+				if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
+					return false
+				}
+				msgs++
+			}
+		}
+		return true
+	})
+	w.met.Add(metrics.Serialization, time.Since(sstart))
+	w.met.AddTraffic(uint64(msgs), 0)
+	return sendErr
+}
+
+// encodeSyncParallel shards the encode over threads: each thread walks its
+// 64-aligned chunk of the local index space in ascending order into private
+// per-destination frames, then the frames ship in (destination, thread)
+// order. Encoding into private frames cannot fail; send errors surface from
+// the sequential ship loop.
+func (w *worker[V]) encodeSyncParallel(updated *bitset.Bitset, scope syncScope) error {
+	e := w.eng
+	sstart := time.Now()
+	words := updated.Words()
+	w.parforT(updated.Cap(), func(t, lo, hi int) {
+		kws := w.encKV[t]
+		msgs := 0
+		for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+			word := words[wi]
+			base := wi << 6
+			for word != 0 {
+				l := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				gid := e.place.GlobalID(w.id, l)
+				if scope == scopeBroadcast {
+					for to := 0; to < e.cfg.Workers; to++ {
+						if to != w.id {
+							kws[to].Append(uint32(gid), &w.cur[gid])
+							msgs++
+						}
+					}
+				} else {
+					for _, to := range w.part.MirrorWorkers[l] {
+						kws[to].Append(uint32(gid), &w.cur[gid])
+						msgs++
+					}
+				}
+			}
+		}
+		w.encMsgs[t] = msgs
+	})
+	msgs := 0
+	var sendErr error
+	for to := 0; to < e.cfg.Workers && sendErr == nil; to++ {
+		for t := range w.encKV {
+			if w.encKV[t][to].Len() > 0 {
+				if sendErr = w.send(to, w.encKV[t][to].Take()); sendErr != nil {
+					break
+				}
+			}
+		}
+	}
+	for t := range w.encMsgs {
+		msgs += w.encMsgs[t]
+	}
+	w.met.Add(metrics.Serialization, time.Since(sstart))
+	w.met.AddTraffic(uint64(msgs), 0)
+	if sendErr != nil {
+		// Unshipped frames go back to the pool so a checkpoint replay
+		// starts clean.
+		w.discardEnc()
+	}
+	return sendErr
+}
+
+// discardEnc drops all pending encode frames back into the pool.
+func (w *worker[V]) discardEnc() {
+	for to := range w.outKV {
+		w.outKV[to].Discard()
+	}
+	for t := range w.encKV {
+		for to := range w.encKV[t] {
+			w.encKV[t][to].Discard()
+		}
+	}
 }

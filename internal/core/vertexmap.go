@@ -77,10 +77,7 @@ func (e *Engine[V]) VertexMapC(U *Subset, F func(c *Ctx[V], v Vtx[V]) bool, M fu
 					}
 					outBits.Set(l)
 				})
-				updated.Range(func(l int) bool {
-					w.cur[e.place.GlobalID(w.id, l)] = w.next[l]
-					return true
-				})
+				w.publishNext(updated)
 			})
 			if scope != scopeNone {
 				return w.syncMasters(updated, scope)
