@@ -1,0 +1,81 @@
+package algo
+
+import (
+	"testing"
+
+	"flash"
+	"flash/graph"
+)
+
+// TestGoldenMirrorCoherence re-runs BFS and CC driver programs over the
+// golden matrix (graphs x workers {1,2,4} x mem/tcp transports) and asserts
+// the §IV-A master–mirror consistency invariant after every superstep. This
+// pins the compact slot layout: masters and mirrors live at different slots
+// now, and any slot-translation bug in sync or gather shows up here as a
+// divergent mirror rather than a silently wrong distance.
+func TestGoldenMirrorCoherence(t *testing.T) {
+	eq := func(a, b bfsProps) bool { return a == b }
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		e, err := newEngine[bfsProps](g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		check := func(step string) {
+			t.Helper()
+			if err := e.CheckMirrorCoherence(eq); err != nil {
+				t.Fatalf("after %s: %v", step, err)
+			}
+		}
+		e.VertexMap(e.All(), nil, func(v flash.Vertex[bfsProps]) bfsProps {
+			if v.ID == 0 {
+				return bfsProps{Dis: 0}
+			}
+			return bfsProps{Dis: inf32}
+		})
+		check("init")
+		u := e.VertexMap(e.All(), func(v flash.Vertex[bfsProps]) bool { return v.ID == 0 }, nil)
+		for step := 0; u.Size() != 0; step++ {
+			u = e.EdgeMap(u, e.E(),
+				nil,
+				func(s, d flash.Vertex[bfsProps]) bfsProps { return bfsProps{Dis: s.Val.Dis + 1} },
+				func(d flash.Vertex[bfsProps]) bool { return d.Val.Dis == inf32 },
+				func(t, cur bfsProps) bfsProps { return t })
+			check("edgemap")
+		}
+	})
+}
+
+func TestGoldenMirrorCoherenceCC(t *testing.T) {
+	eq := func(a, b ccProps) bool { return a == b }
+	forGolden(t, goldenGraphs(), func(t *testing.T, g *graph.Graph, opts []flash.Option) {
+		e, err := newEngine[ccProps](g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		u := e.VertexMap(e.All(), nil, func(v flash.Vertex[ccProps]) ccProps {
+			return ccProps{CC: uint32(v.ID)}
+		})
+		for u.Size() != 0 {
+			u = e.EdgeMap(u, e.E(),
+				func(s, d flash.Vertex[ccProps]) bool { return s.Val.CC < d.Val.CC },
+				func(s, d flash.Vertex[ccProps]) ccProps {
+					if s.Val.CC < d.Val.CC {
+						return ccProps{CC: s.Val.CC}
+					}
+					return *d.Val
+				},
+				nil,
+				func(tv, cur ccProps) ccProps {
+					if tv.CC < cur.CC {
+						return tv
+					}
+					return cur
+				})
+			if err := e.CheckMirrorCoherence(eq); err != nil {
+				t.Fatalf("after edgemap: %v", err)
+			}
+		}
+	})
+}

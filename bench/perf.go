@@ -17,6 +17,7 @@ import (
 	"sort"
 	"testing"
 	"time"
+	"unsafe"
 
 	"flash"
 	"flash/algo"
@@ -50,15 +51,30 @@ type PerfCell struct {
 	Supersteps  int    `json:"supersteps"`
 }
 
+// MemStat is one state-memory entry in BENCH_flash.json: the engine's
+// resident per-worker property state (summed over workers) after a full BFS,
+// next to what the pre-slot O(|V|·Threads) layout held for the same
+// configuration.
+type MemStat struct {
+	StateBytes          uint64  `json:"state_bytes"`
+	StateBytesPerVertex float64 `json:"state_bytes_per_vertex"`
+	LegacyBytes         uint64  `json:"legacy_bytes"`
+	SavingsPct          float64 `json:"savings_pct"`
+}
+
 // PerfSuite is the full BENCH_flash.json document.
 type PerfSuite struct {
 	Schema     string               `json:"schema"`
 	Graph      string               `json:"graph"`
 	Vertices   int                  `json:"vertices"`
 	Edges      int                  `json:"edges"`
+	GraphXL    string               `json:"graph_xl,omitempty"`
+	VerticesXL int                  `json:"vertices_xl,omitempty"`
+	EdgesXL    int                  `json:"edges_xl,omitempty"`
 	GoMaxProcs int                  `json:"go_maxprocs"`
 	Reps       int                  `json:"reps"`
 	Micro      map[string]MicroStat `json:"micro"`
+	Mem        map[string]MemStat   `json:"mem,omitempty"`
 	Suite      []PerfCell           `json:"suite"`
 }
 
@@ -102,6 +118,72 @@ func MicroSparse(workers, threads int) testing.BenchmarkResult {
 	})
 }
 
+// MeasureStateMemory builds an engine over the fixed RMAT graph, runs a full
+// BFS so any lazily-materialized state (parallel-push accumulator shards) is
+// in place, and reports the resident property-state footprint next to what
+// the pre-slot layout — full |V|-sized current array plus Threads full-size
+// accumulator shards per worker — would have held. Engine.StateBytes is
+// deterministic for a fixed graph and configuration, so the regress guard
+// can hold the per-vertex value to a hard threshold.
+func MeasureStateMemory(workers, threads int) (MemStat, error) {
+	g := graph.GenRMAT(4096, 4096*12, 101)
+	e, err := flash.NewEngine[perfProps](g,
+		flash.WithWorkers(workers), flash.WithThreads(threads))
+	if err != nil {
+		return MemStat{}, err
+	}
+	defer e.Close()
+	const inf = int32(1) << 30
+	e.VertexMap(e.All(), nil, func(v flash.Vertex[perfProps]) perfProps {
+		if v.ID == 0 {
+			return perfProps{}
+		}
+		return perfProps{Dis: inf}
+	})
+	u := e.FromIDs(0)
+	for u.Size() != 0 {
+		u = e.EdgeMap(u, e.E(),
+			func(s, d flash.Vertex[perfProps]) bool { return d.Val.Dis > s.Val.Dis+1 },
+			func(s, d flash.Vertex[perfProps]) perfProps { return perfProps{Dis: s.Val.Dis + 1} },
+			func(d flash.Vertex[perfProps]) bool { return d.Val.Dis == inf },
+			func(t, cur perfProps) perfProps {
+				if t.Dis < cur.Dis {
+					return t
+				}
+				return cur
+			})
+	}
+	n := g.NumVertices()
+	state := e.StateBytes()
+	legacy := legacyStateBytes(n, workers, threads, uint64(unsafe.Sizeof(perfProps{})))
+	return MemStat{
+		StateBytes:          state,
+		StateBytesPerVertex: float64(state) / float64(n),
+		LegacyBytes:         legacy,
+		SavingsPct:          100 * (1 - float64(state)/float64(legacy)),
+	}, nil
+}
+
+// legacyStateBytes models the pre-slot layout's resident footprint: per
+// worker, a |V|-sized cur array, Threads |V|-sized accumulator shards with
+// |V|-bit membership sets, master-sized next/pend buffers and bitsets, and
+// the |V|-bit frontier bitmap.
+func legacyStateBytes(n, workers, threads int, vsz uint64) uint64 {
+	words := func(c int) uint64 { return uint64((c + 63) / 64 * 8) }
+	var total uint64
+	for w := 0; w < workers; w++ {
+		lc := n / workers
+		if w < n%workers {
+			lc++
+		}
+		total += uint64(n) * vsz                                // cur
+		total += uint64(threads) * (uint64(n)*vsz + words(n))   // acc shards
+		total += 2 * uint64(lc) * vsz                           // next + pendVal
+		total += 2*words(lc) + words(n)                         // nextSet + pendSet + frontier
+	}
+	return total
+}
+
 // perfAlgo is one algorithm of the fixed grid. run executes a full job with
 // the supplied engine options and must do all work before returning.
 type perfAlgo struct {
@@ -127,13 +209,15 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 	g := graph.GenRMAT(4096, 4096*12, 101)
 	weighted := graph.WithRandomWeights(g, 9)
 	s := &PerfSuite{
-		Schema:     "flash-bench/v1",
+		Schema:     "flash-bench/v2",
 		Graph:      "rmat-4096x12-seed101 (OR analog)",
 		Vertices:   g.NumVertices(),
 		Edges:      g.NumEdges(),
+		GraphXL:    "rmat-16384x12-seed101 (XL tier)",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Reps:       reps,
 		Micro:      map[string]MicroStat{},
+		Mem:        map[string]MemStat{},
 	}
 	for _, c := range []struct{ w, t int }{{1, 1}, {4, 1}, {4, 4}} {
 		r := MicroSparse(c.w, c.t)
@@ -142,6 +226,11 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
+		m, err := MeasureStateMemory(c.w, c.t)
+		if err != nil {
+			return nil, fmt.Errorf("state memory w%dt%d: %w", c.w, c.t, err)
+		}
+		s.Mem[fmt.Sprintf("state_w%dt%d", c.w, c.t)] = m
 	}
 	for _, a := range fixedAlgos(g, weighted) {
 		for _, transport := range []string{"mem", "tcp"} {
@@ -154,6 +243,24 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 					s.Suite = append(s.Suite, cell)
 				}
 			}
+		}
+	}
+	// XL tier: ~4× the vertices of the main grid, runnable in the headroom
+	// the compact state layout freed. BFS and CC, both transports, w4t4.
+	xl := graph.GenRMAT(16384, 16384*12, 101)
+	s.VerticesXL = xl.NumVertices()
+	s.EdgesXL = xl.NumEdges()
+	xlAlgos := []perfAlgo{
+		{"bfs-xl", func(o []flash.Option) error { _, err := algo.BFS(xl, 0, o...); return err }},
+		{"cc-xl", func(o []flash.Option) error { _, err := algo.CC(xl, o...); return err }},
+	}
+	for _, a := range xlAlgos {
+		for _, transport := range []string{"mem", "tcp"} {
+			cell, err := runPerfCell(a, transport, 4, 4, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cell.Name, err)
+			}
+			s.Suite = append(s.Suite, cell)
 		}
 	}
 	return s, nil
@@ -247,6 +354,16 @@ func PrintPerf(w io.Writer, s *PerfSuite) {
 		m := s.Micro[k]
 		fmt.Fprintf(w, "%-28s %12d ns/op %10d B/op %8d allocs/op\n",
 			k, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	memKeys := make([]string, 0, len(s.Mem))
+	for k := range s.Mem {
+		memKeys = append(memKeys, k)
+	}
+	sort.Strings(memKeys)
+	for _, k := range memKeys {
+		m := s.Mem[k]
+		fmt.Fprintf(w, "%-28s %12d B state %8.2f B/vertex %8.1f%% saved vs legacy %d B\n",
+			k, m.StateBytes, m.StateBytesPerVertex, m.SavingsPct, m.LegacyBytes)
 	}
 	for _, c := range s.Suite {
 		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",

@@ -47,3 +47,42 @@ func TestSparseAllocRegression(t *testing.T) {
 		}
 	}
 }
+
+// TestStateMemoryRegression guards the compact master+mirror state layout: it
+// re-measures per-worker state bytes on the fixed RMAT graph and fails if
+// state_bytes_per_vertex grew more than 20% over the committed baseline, or
+// if the layout stops beating the legacy O(|V|*Threads) model by at least
+// half at Workers=4, Threads=4. StateBytes is computed from slice capacities,
+// not the GC heap, so the measurement is deterministic and runs everywhere.
+func TestStateMemoryRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory measurement skipped in -short mode")
+	}
+	base, err := ReadPerfJSON("../BENCH_flash.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_flash.json baseline")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := MeasureStateMemory(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.SavingsPct < 50 {
+		t.Errorf("w4t4 state memory saves only %.1f%% over the legacy layout, want >= 50%%",
+			cur.SavingsPct)
+	}
+	b, ok := base.Mem["state_w4t4"]
+	if !ok {
+		t.Skip("baseline predates the state-memory metric")
+	}
+	limit := b.StateBytesPerVertex * 1.2
+	if cur.StateBytesPerVertex > limit {
+		t.Errorf("state_bytes_per_vertex = %.2f, baseline %.2f (limit %.2f): state memory regressed",
+			cur.StateBytesPerVertex, b.StateBytesPerVertex, limit)
+	} else {
+		t.Logf("state_bytes_per_vertex = %.2f (baseline %.2f, limit %.2f, savings %.1f%%)",
+			cur.StateBytesPerVertex, b.StateBytesPerVertex, limit, cur.SavingsPct)
+	}
+}

@@ -200,6 +200,20 @@ func (e *Engine[V]) Metrics() *metrics.Collector { return e.c.Metrics() }
 // ReplicationFactor returns the average copies per vertex of the partition.
 func (e *Engine[V]) ReplicationFactor() float64 { return e.c.ReplicationFactor() }
 
+// StateBytes returns the resident per-worker property-state footprint summed
+// over all workers: slot-indexed current states, next/pending master buffers,
+// materialized accumulator shards, per-step bitsets, and slot-table
+// auxiliaries. Deterministic for a fixed graph and configuration, so benches
+// can guard it against regression.
+func (e *Engine[V]) StateBytes() uint64 { return e.c.StateBytes() }
+
+// CheckMirrorCoherence verifies that every mirror equals its master's state
+// according to eq — the §IV-A consistency invariant. Driver-side, intended
+// for tests.
+func (e *Engine[V]) CheckMirrorCoherence(eq func(a, b V) bool) error {
+	return e.c.CheckMirrorCoherence(eq)
+}
+
 // NumVertices returns |V| of the graph.
 func (e *Engine[V]) NumVertices() int { return e.c.Graph().NumVertices() }
 

@@ -202,7 +202,9 @@ func (e *Engine[V]) restoreCheckpoint() {
 		w.frontier.CopyFrom(e.ckpt.frontier[i])
 		w.nextSet.Reset()
 		for t := range w.acc {
-			w.acc[t].set.Reset()
+			if w.acc[t].set != nil {
+				w.acc[t].set.Reset()
+			}
 		}
 		w.pendSet.Reset()
 		w.discardEnc() // unshipped frames back to the pool, delta bases reset

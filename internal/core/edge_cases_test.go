@@ -136,7 +136,7 @@ func TestFullMirrorsConsistencyAfterEveryStep(t *testing.T) {
 	for v := 0; v < g.NumVertices(); v++ {
 		want := e.Get(graph.VID(v))
 		for _, w := range e.workers {
-			if w.cur[v] != want {
+			if w.cur[w.st.Slot(graph.VID(v))] != want {
 				t.Fatalf("worker %d disagrees on vertex %d", w.id, v)
 			}
 		}

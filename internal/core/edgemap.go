@@ -60,12 +60,27 @@ func (e *Engine[V]) EdgeMap(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C E
 }
 
 // isDense applies Ligra's density rule: |U| + outDegree(U) > |E|/threshold.
+// The degree sum runs driver-side and early-exits the moment the running sum
+// crosses the budget: small frontiers cost O(|U|) O(1) hint calls and no
+// worker fan-out, and even the worst case stops after at most budget+1 hint
+// visits instead of always touching every member on every Auto-mode EdgeMap.
 func (e *Engine[V]) isDense(U *Subset, H EdgeSet[V]) bool {
 	budget := e.g.NumEdges() / e.cfg.DenseThreshold
 	if U.Size() > budget {
 		return true
 	}
-	return U.Size()+e.degreeSum(U, H) > budget
+	sum := U.Size()
+	for _, w := range e.workers {
+		w := w
+		U.local[w.id].Range(func(l int) bool {
+			sum += H.OutDegreeHint(&w.ctx, e.place.GlobalID(w.id, l))
+			return sum <= budget
+		})
+		if sum > budget {
+			return true
+		}
+	}
+	return false
 }
 
 // EdgeMapSparse is the push kernel (paper Algorithm 6 + §IV-A's three-phase
@@ -90,15 +105,18 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 			membership := U.local[w.id]
 
 			// Phase 1: push along out-edges, accumulating per-target partials
-			// into per-thread shards — no locks on the per-edge path. The
-			// push closure is hoisted out of the source loop (one allocation
-			// per chunk, not per source).
+			// into per-thread shards indexed by slot (every push target of a
+			// physical set is a local master or mirror; virtual sets run
+			// under FullMirrors where every vertex is resident) — no locks on
+			// the per-edge path. The push closure is hoisted out of the
+			// source loop (one allocation per chunk, not per source).
 			w.acc[0].set.Reset()
 			w.timeBlock(metrics.Compute, func() {
 				visitor := func(a *accShard[V]) func(l int) {
 					var uv Vtx[V]
 					push := func(d graph.VID, wt float32) bool {
-						dv := w.vtx(d)
+						ds := w.st.Slot(d)
+						dv := w.vtxAt(d, &w.cur[ds])
 						if C != nil && !C(dv) {
 							return true
 						}
@@ -106,28 +124,45 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 							return true
 						}
 						t := M(uv, dv, wt)
-						if a.set.TestAndSet(int(d)) {
-							a.val[d] = R(t, a.val[d])
+						if a.set.TestAndSet(ds) {
+							a.val[ds] = R(t, a.val[ds])
 						} else {
-							a.val[d] = t
+							a.val[ds] = t
 						}
 						return true
 					}
 					return func(l int) {
 						u := e.place.GlobalID(w.id, l)
-						uv = w.vtx(u)
+						uv = w.vtxMaster(u, l)
 						H.Out(&w.ctx, u, push)
 					}
 				}
-				// Same density rule as forEachMember: bit-walk sparse
-				// frontiers sequentially, scan dense ones across threads.
-				if e.cfg.Threads == 1 || U.Size()*16 < membership.Cap() {
+				// Density rule as in forEachMember, plus an edge-work floor:
+				// the parallel path materializes Threads-1 slot-sized shards
+				// and pays an O(SlotCount) merge scan per shard, so it only
+				// engages when this worker's pushed-edge work amortizes that
+				// cost. Auto-mode sparse frontiers carry at most
+				// |E|/DenseThreshold edges (bigger ones go dense), so on most
+				// graphs only forced-push workloads ever materialize the
+				// extra shards.
+				parallel := false
+				if e.cfg.Threads > 1 && U.Size()*16 >= membership.Cap() {
+					floor := w.st.SlotCount()
+					work := 0
+					membership.Range(func(l int) bool {
+						work += H.OutDegreeHint(&w.ctx, e.place.GlobalID(w.id, l))
+						return work < floor
+					})
+					parallel = work >= floor
+				}
+				if !parallel {
 					f := visitor(&w.acc[0])
 					membership.Range(func(l int) bool {
 						f(l)
 						return true
 					})
 				} else {
+					w.ensureAccShards()
 					w.parforT(membership.Cap(), func(t, lo, hi int) {
 						f := visitor(&w.acc[t])
 						for l := lo; l < hi; l++ {
@@ -141,25 +176,39 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 			})
 
 			// Phase 2: route partials to target masters (exchange round 1).
-			// The bitset walk is ascending, so every destination's frame
-			// carries sorted vids: message bytes are deterministic and the
-			// delta encoding stays tight.
+			// The master region of the slot space folds locally (slot ==
+			// local index); the mirror region walks the mirror bitmap in
+			// ascending gid order, so every destination's frame carries
+			// sorted vids: message bytes are deterministic and the delta
+			// encoding stays tight.
 			w.pendSet.Reset()
 			sstart := time.Now()
 			msgs := 0
 			var sendErr error
 			acc := &w.acc[0]
-			acc.set.Range(func(d int) bool {
-				gid := graph.VID(d)
-				o := e.place.Owner(gid)
-				if o == w.id {
-					w.foldPend(e.place.LocalIndex(gid), &acc.val[d], R)
-				} else {
-					if sendErr = w.appendKV(o, gid, &acc.val[d]); sendErr != nil {
-						return false
-					}
-					msgs++
+			masters := w.st.MasterCount()
+			accWords := acc.set.Words()
+			foldWord := func(word uint64, base int) {
+				for word != 0 {
+					l := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					w.foldPend(l, &acc.val[l], R)
 				}
+			}
+			for wi := 0; wi < masters>>6; wi++ {
+				foldWord(accWords[wi], wi<<6)
+			}
+			if rem := masters & 63; rem != 0 {
+				foldWord(accWords[masters>>6]&(1<<rem-1), masters&^63)
+			}
+			w.st.RangeMirrors(func(ds int, gid graph.VID) bool {
+				if !acc.set.Test(ds) {
+					return true
+				}
+				if sendErr = w.appendKV(e.place.Owner(gid), gid, &acc.val[ds]); sendErr != nil {
+					return false
+				}
+				msgs++
 				return true
 			})
 			w.met.Add(metrics.Serialization, time.Since(sstart))
@@ -192,8 +241,7 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 						for word != 0 {
 							l := base + bits.TrailingZeros64(word)
 							word &= word - 1
-							gid := e.place.GlobalID(w.id, l)
-							w.cur[gid] = R(w.pendVal[l], w.cur[gid])
+							w.cur[l] = R(w.pendVal[l], w.cur[l])
 							outBits.Set(l)
 						}
 					}
@@ -210,9 +258,9 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 }
 
 // mergeAcc folds the phase-1 shards of threads 1.. into shard 0, parallel
-// over 64-aligned chunks of the global id space (concurrent bitset writes
-// stay word-disjoint). Shard words are consumed (zeroed) as they merge, so
-// only shard 0 needs resetting next superstep. The fold visits threads in
+// over 64-aligned chunks of the slot space (concurrent bitset writes stay
+// word-disjoint). Shard words are consumed (zeroed) as they merge, so only
+// shard 0 needs resetting next superstep. The fold visits threads in
 // ascending order, keeping the reduction order deterministic for a fixed
 // Threads setting.
 func (w *worker[V]) mergeAcc(R EdgeR[V]) {
@@ -220,6 +268,9 @@ func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 	w.parfor(a0.set.Cap(), func(lo, hi int) {
 		for t := 1; t < len(w.acc); t++ {
 			a := &w.acc[t]
+			if a.val == nil {
+				continue
+			}
 			words := a.set.Words()
 			for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
 				word := words[wi]
@@ -300,7 +351,7 @@ func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V]
 					}
 					for l := lo; l < hi; l++ {
 						gid := e.place.GlobalID(w.id, l)
-						work = w.cur[gid]
+						work = w.cur[l]
 						dv = w.vtxAt(gid, &work)
 						applied = false
 						H.In(&w.ctx, gid, pull)
@@ -321,9 +372,115 @@ func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V]
 	})
 }
 
+// Frontier frame tags: the first payload byte selects the encoding.
+const (
+	frontierDense  = 0x00 // u32 word offset + raw 64-bit words
+	frontierSparse = 0x01 // uvarint count + uvarint first vid + uvarint gaps
+)
+
+// encodeFrontier serializes the non-zero word span [lo, hi) of a frontier
+// bitmap into scratch, choosing between the dense word-span layout and a
+// sparse ascending vid list — whichever frame is smaller. A pull step forced
+// over a tiny frontier (R == nil) used to ship the full word span; the sparse
+// layout makes that broadcast O(|U|) bytes instead. The sparse attempt aborts
+// as soon as it reaches the dense size, so encoding never costs more than
+// O(min(|U|, span)) work.
+func encodeFrontier(scratch []byte, words []uint64, lo, hi int) []byte {
+	denseSize := 5 + 8*(hi-lo)
+	cnt := 0
+	for _, wd := range words[lo:hi] {
+		cnt += bits.OnesCount64(wd)
+	}
+	scratch = append(scratch[:0], frontierSparse)
+	scratch = binary.AppendUvarint(scratch, uint64(cnt))
+	prev := -1
+	left := cnt
+	for wi := lo; wi < hi && len(scratch) < denseSize; wi++ {
+		word := words[wi]
+		base := wi << 6
+		for word != 0 && len(scratch) < denseSize {
+			v := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if prev < 0 {
+				scratch = binary.AppendUvarint(scratch, uint64(v))
+			} else {
+				scratch = binary.AppendUvarint(scratch, uint64(v-prev))
+			}
+			prev = v
+			left--
+		}
+	}
+	if left == 0 && len(scratch) < denseSize {
+		return scratch
+	}
+	scratch = append(scratch[:0], frontierDense, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(scratch[1:], uint32(lo))
+	for _, wd := range words[lo:hi] {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], wd)
+		scratch = append(scratch, b[:]...)
+	}
+	return scratch
+}
+
+// decodeFrontier ORs one frontier frame into the global bitmap words. It
+// validates bounds and varint framing so a corrupt frame fails the superstep
+// instead of corrupting memory.
+func decodeFrontier(data []byte, words []uint64) error {
+	if len(data) == 0 {
+		return fmt.Errorf("core: empty frontier frame")
+	}
+	body := data[1:]
+	switch data[0] {
+	case frontierDense:
+		if len(body) < 4 || (len(body)-4)%8 != 0 {
+			return fmt.Errorf("core: bad dense frontier frame of %d bytes", len(data))
+		}
+		off := int(binary.LittleEndian.Uint32(body))
+		nw := (len(body) - 4) / 8
+		if off < 0 || off+nw > len(words) {
+			return fmt.Errorf("core: dense frontier frame out of range (off=%d words=%d)", off, nw)
+		}
+		for i := 0; i < nw; i++ {
+			words[off+i] |= binary.LittleEndian.Uint64(body[4+8*i:])
+		}
+		return nil
+	case frontierSparse:
+		cnt, k := binary.Uvarint(body)
+		if k <= 0 || cnt > uint64(len(words))*64 {
+			return fmt.Errorf("core: bad sparse frontier count")
+		}
+		body = body[k:]
+		v := uint64(0)
+		for i := uint64(0); i < cnt; i++ {
+			d, k := binary.Uvarint(body)
+			if k <= 0 {
+				return fmt.Errorf("core: truncated sparse frontier frame")
+			}
+			body = body[k:]
+			if i == 0 {
+				v = d
+			} else {
+				v += d
+			}
+			if v >= uint64(len(words))*64 {
+				return fmt.Errorf("core: sparse frontier vid %d out of range", v)
+			}
+			words[v>>6] |= 1 << (v & 63)
+		}
+		if len(body) != 0 {
+			return fmt.Errorf("core: %d trailing bytes in sparse frontier frame", len(body))
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown frontier frame tag 0x%02x", data[0])
+	}
+}
+
 // broadcastFrontier shares the members of U with every worker (one exchange
-// round) and materializes them in w.frontier as a global bitmap. Members are
-// encoded as word-spans of a global-position bitmap.
+// round) and materializes them in w.frontier as a global bitmap. Frames carry
+// either the word span of the bitmap or a sparse vid list, whichever is
+// smaller for this worker's members.
 func (w *worker[V]) broadcastFrontier(U *Subset) error {
 	e := w.eng
 	sstart := time.Now()
@@ -340,18 +497,16 @@ func (w *worker[V]) broadcastFrontier(U *Subset) error {
 	for hi > lo && words[hi-1] == 0 {
 		hi--
 	}
-	if hi > lo {
+	if hi > lo && e.cfg.Workers > 1 {
+		w.fenc = encodeFrontier(w.fenc, words, lo, hi)
 		// One pooled payload per destination: delivered frames are recycled
 		// by the receiver's drain, so destinations must not share a buffer.
 		for to := 0; to < e.cfg.Workers; to++ {
 			if to == w.id {
 				continue
 			}
-			payload := comm.GetBufN(4 + 8*(hi-lo))
-			binary.LittleEndian.PutUint32(payload, uint32(lo))
-			for i, wd := range words[lo:hi] {
-				binary.LittleEndian.PutUint64(payload[4+8*i:], wd)
-			}
+			payload := comm.GetBufN(len(w.fenc))
+			copy(payload, w.fenc)
 			if err := w.send(to, payload); err != nil {
 				w.met.Add(metrics.Serialization, time.Since(sstart))
 				return err
@@ -366,15 +521,8 @@ func (w *worker[V]) broadcastFrontier(U *Subset) error {
 	cstart := time.Now()
 	var frameErr error
 	drainErr := e.tr.Drain(w.id, func(_ int, data []byte) {
-		if len(data) < 4 || (len(data)-4)%8 != 0 {
-			if frameErr == nil {
-				frameErr = fmt.Errorf("core: bad frontier frame of %d bytes", len(data))
-			}
-			return
-		}
-		off := int(binary.LittleEndian.Uint32(data))
-		for i := 0; i < (len(data)-4)/8; i++ {
-			words[off+i] |= binary.LittleEndian.Uint64(data[4+8*i:])
+		if err := decodeFrontier(data, words); err != nil && frameErr == nil {
+			frameErr = err
 		}
 	})
 	w.met.Add(metrics.Communication, time.Since(cstart))

@@ -15,7 +15,9 @@ import (
 	"math/bits"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"flash/graph"
 	"flash/internal/bitset"
@@ -197,21 +199,31 @@ type worker[V any] struct {
 	eng  *Engine[V]
 	part *partition.Part
 
-	// cur holds the current states (§IV-A) indexed by global id; only the
-	// slots of local masters and local mirrors are meaningful.
+	// st is the worker's compact slot layout: local masters at slots
+	// [0, MasterCount) (slot == local index), then mirrors sorted by gid.
+	// Under FullMirrors every non-master is a mirror, so every vertex is
+	// resident and SlotCount == |V|.
+	st *partition.SlotTable
+
+	// cur holds the current states (§IV-A) indexed by slot: one entry per
+	// resident vertex (local masters and mirrors), O(masters+mirrors)
+	// instead of O(|V|).
 	cur []V
 
-	// next holds next states for local masters (by local index), created
-	// lazily per superstep; nextSet marks which are populated.
+	// next holds next states for local masters (by local index == slot),
+	// created lazily per superstep; nextSet marks which are populated.
 	next    []V
 	nextSet *bitset.Bitset
 
-	// acc holds the sparse-kernel accumulators over the global id space,
+	// acc holds the sparse-kernel accumulators over the slot space (the
+	// push-target universe: every push target is a local master or mirror),
 	// reused across steps: one (values, membership) shard per thread, so
 	// phase-1 pushes never lock — threads accumulate privately and mergeAcc
-	// folds shards 1.. into shard 0 at 64-aligned chunk boundaries. With
-	// Threads=1 only shard 0 exists and the layout matches the old
-	// single-accumulator design.
+	// folds shards 1.. into shard 0 at 64-aligned chunk boundaries. Shard 0
+	// is allocated eagerly; shards 1.. materialize on the first parallel
+	// phase-1 (ensureAccShards), so dense-mode algorithms never pay for
+	// them. With Threads=1 only shard 0 exists and the layout matches the
+	// old single-accumulator design.
 	acc []accShard[V]
 
 	// pend* accumulate partial updates arriving at this master (by local
@@ -220,8 +232,9 @@ type worker[V any] struct {
 	pendSet *bitset.Bitset
 
 	// frontier is this worker's copy of the global frontier bitmap used by
-	// the dense kernel.
+	// the dense kernel; fenc is the reused frontier-frame encode scratch.
 	frontier *bitset.Bitset
+	fenc     []byte
 
 	// outKV are the per-destination KV frame encoders for the current round
 	// (pool-backed; frames are recycled by the receiver's drain).
@@ -231,6 +244,11 @@ type worker[V any] struct {
 	// mirror-sync path shards over; nil when Threads == 1.
 	encKV   [][]comm.KVWriter[V]
 	encMsgs []int
+
+	// pool is the worker's persistent parfor thread pool (Threads-1 helper
+	// goroutines), started lazily on the first multi-chunk parforT and
+	// joined at Close. nil until started.
+	pool *threadPool
 
 	met *metrics.Collector
 	ctx Ctx[V]
@@ -285,11 +303,16 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 	n := g.NumVertices()
 	e.workers = make([]*worker[V], cfg.Workers)
 	for wi := range e.workers {
+		st := part.Parts[wi].Slots
+		if cfg.FullMirrors {
+			st = partition.FullSlotTable(place, wi, n)
+		}
 		w := &worker[V]{
 			id:       wi,
 			eng:      e,
 			part:     part.Parts[wi],
-			cur:      make([]V, n),
+			st:       st,
+			cur:      make([]V, st.SlotCount()),
 			next:     make([]V, place.LocalCount(wi)),
 			nextSet:  bitset.New(place.LocalCount(wi)),
 			acc:      make([]accShard[V], cfg.Threads),
@@ -299,9 +322,9 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 			outKV:    make([]comm.KVWriter[V], cfg.Workers),
 			met:      metrics.New(),
 		}
-		for t := range w.acc {
-			w.acc[t] = accShard[V]{val: make([]V, n), set: bitset.New(n)}
-		}
+		// Shard 0 serves the sequential push path and the fold target of
+		// mergeAcc; the per-thread shards 1.. are lazy (ensureAccShards).
+		w.acc[0] = accShard[V]{val: make([]V, st.SlotCount()), set: bitset.New(st.SlotCount())}
 		for to := range w.outKV {
 			w.outKV[to].Init(e.codec)
 		}
@@ -336,12 +359,18 @@ func (e *Engine[V]) Config() Config { return e.cfg }
 // ReplicationFactor exposes the partition quality metric.
 func (e *Engine[V]) ReplicationFactor() float64 { return e.part.ReplicationFactor() }
 
-// Close releases the transport. The engine must not be used afterwards.
+// Close releases the transport and joins the workers' parfor thread pools.
+// The engine must not be used afterwards.
 func (e *Engine[V]) Close() error {
 	if e.closed {
 		return nil
 	}
 	e.closed = true
+	for _, w := range e.workers {
+		if w.pool != nil {
+			w.pool.stop()
+		}
+	}
 	return e.tr.Close()
 }
 
@@ -440,6 +469,63 @@ func (w *worker[V]) send(to int, data []byte) error {
 	}
 }
 
+// threadPool is a worker's persistent set of parfor helper goroutines.
+// parforT used to spawn fresh goroutines for every phase of every superstep;
+// the pool starts Threads-1 helpers once and reuses them: each parforJob is
+// broadcast to the helpers through a buffered channel and the chunks are
+// claimed by atomic fetch-add, with the calling goroutine working alongside
+// the helpers. Stale job copies left in the channel after all chunks are
+// claimed drain as instant no-ops.
+type threadPool struct {
+	jobs chan *parforJob
+}
+
+// parforJob is one parfor invocation: fixed 64-aligned chunking with chunk
+// index t == chunk number, so every runner that claims chunk t is the unique
+// user of the per-thread scratch keyed by t.
+type parforJob struct {
+	f       func(t, lo, hi int)
+	chunk   int
+	total   int
+	nchunks int32
+	next    atomic.Int32
+	wg      sync.WaitGroup
+}
+
+// run claims and executes chunks until the job is exhausted.
+func (j *parforJob) run() {
+	for {
+		t := int(j.next.Add(1) - 1)
+		if t >= int(j.nchunks) {
+			return
+		}
+		lo := t * j.chunk
+		hi := lo + j.chunk
+		if hi > j.total {
+			hi = j.total
+		}
+		j.f(t, lo, hi)
+		j.wg.Done()
+	}
+}
+
+func newThreadPool(helpers int) *threadPool {
+	// Buffer two broadcasts' worth of job copies so back-to-back parfor
+	// phases never block on a helper still draining a finished job.
+	p := &threadPool{jobs: make(chan *parforJob, 2*helpers+1)}
+	for i := 0; i < helpers; i++ {
+		go func() {
+			for job := range p.jobs {
+				job.run()
+			}
+		}()
+	}
+	return p
+}
+
+// stop joins the helper goroutines. The pool must be idle.
+func (p *threadPool) stop() { close(p.jobs) }
+
 // parfor splits [0, total) into 64-aligned chunks over the worker's threads
 // and runs them concurrently. Alignment guarantees concurrent bitset writes
 // on disjoint chunks never touch the same word.
@@ -450,6 +536,8 @@ func (w *worker[V]) parfor(total int, f func(lo, hi int)) {
 // parforT is parfor with a stable chunk index t passed to f, for callers
 // keeping per-thread scratch (accumulator shards, encode buffers). The chunk
 // size ceil(total/Threads) rounded up to 64 guarantees t < Config.Threads.
+// Multi-chunk invocations run on the worker's persistent thread pool; the
+// calling goroutine participates, so the pool only needs Threads-1 helpers.
 func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 	threads := w.eng.cfg.Threads
 	if threads == 1 || total < 128 {
@@ -458,26 +546,29 @@ func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 	}
 	chunk := (total + threads - 1) / threads
 	chunk = (chunk + 63) &^ 63
-	var wg sync.WaitGroup
-	t := 0
-	for lo := 0; lo < total; lo += chunk {
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			f(t, lo, hi)
-		}(t, lo, hi)
-		t++
+	nchunks := (total + chunk - 1) / chunk
+	if nchunks == 1 {
+		f(0, 0, total)
+		return
 	}
-	wg.Wait()
+	if w.pool == nil {
+		// Lazy start; races are impossible because a worker's supersteps
+		// are serialized (parallelWorkers joins before the next phase).
+		w.pool = newThreadPool(threads - 1)
+	}
+	job := &parforJob{f: f, chunk: chunk, total: total, nchunks: int32(nchunks)}
+	job.wg.Add(nchunks)
+	for i := 1; i < nchunks; i++ {
+		w.pool.jobs <- job
+	}
+	job.run()
+	job.wg.Wait()
 }
 
 // publishNext copies the buffered next states of the updated masters into
 // cur, parallel over 64-aligned chunks (distinct local indices map to
-// distinct masters, so the writes never collide).
+// distinct masters, so the writes never collide). A master's slot is its
+// local index, so no id translation is needed.
 func (w *worker[V]) publishNext(updated *bitset.Bitset) {
 	words := updated.Words()
 	w.parfor(updated.Cap(), func(lo, hi int) {
@@ -487,10 +578,24 @@ func (w *worker[V]) publishNext(updated *bitset.Bitset) {
 			for word != 0 {
 				l := base + bits.TrailingZeros64(word)
 				word &= word - 1
-				w.cur[w.eng.place.GlobalID(w.id, l)] = w.next[l]
+				w.cur[l] = w.next[l]
 			}
 		}
 	})
+}
+
+// ensureAccShards materializes the per-thread phase-1 accumulator shards
+// 1..Threads-1 on first use, so algorithms that never run a parallel sparse
+// push never allocate them.
+func (w *worker[V]) ensureAccShards() {
+	for t := 1; t < len(w.acc); t++ {
+		if w.acc[t].val == nil {
+			w.acc[t] = accShard[V]{
+				val: make([]V, w.st.SlotCount()),
+				set: bitset.New(w.st.SlotCount()),
+			}
+		}
+	}
 }
 
 // forEachMember visits the local indices in membership, choosing between a
@@ -514,20 +619,35 @@ func (w *worker[V]) forEachMember(membership *bitset.Bitset, count int, f func(l
 }
 
 // vtx builds the callback view for v using this worker's current states.
+// v must be resident (a local master or mirror).
 func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,
 		Deg:   uint32(w.eng.g.OutDegree(v)),
 		InDeg: uint32(w.eng.g.InDegree(v)),
-		Val:   &w.cur[v],
+		Val:   &w.cur[w.st.Slot(v)],
+	}
+}
+
+// vtxMaster is vtx for a local master whose local index (== slot) is already
+// known, skipping the gid→slot lookup on master-walk hot paths.
+func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
+	return Vtx[V]{
+		ID:    v,
+		Deg:   uint32(w.eng.g.OutDegree(v)),
+		InDeg: uint32(w.eng.g.InDegree(v)),
+		Val:   &w.cur[l],
 	}
 }
 
 // vtxAt is like vtx but points Val at an explicit working copy.
 func (w *worker[V]) vtxAt(v graph.VID, val *V) Vtx[V] {
-	x := w.vtx(v)
-	x.Val = val
-	return x
+	return Vtx[V]{
+		ID:    v,
+		Deg:   uint32(w.eng.g.OutDegree(v)),
+		InDeg: uint32(w.eng.g.InDegree(v)),
+		Val:   val,
+	}
 }
 
 // Ctx gives EdgeSet implementations read access to current states.
@@ -539,7 +659,7 @@ type Ctx[V any] struct {
 // Get returns a read-only pointer to v's current state as seen by this
 // worker. Valid for local masters and mirrors; with FullMirrors every vertex
 // is valid.
-func (c *Ctx[V]) Get(v graph.VID) *V { return &c.w.cur[v] }
+func (c *Ctx[V]) Get(v graph.VID) *V { return &c.w.cur[c.w.st.Slot(v)] }
 
 // Worker returns the worker id the context belongs to.
 func (c *Ctx[V]) Worker() int { return c.w.id }
@@ -549,4 +669,31 @@ func (w *worker[V]) timeBlock(cat metrics.Category, f func()) {
 	start := time.Now()
 	f()
 	w.met.Add(cat, time.Since(start))
+}
+
+// StateBytes returns the resident per-worker property-state footprint, summed
+// over all workers: the slot-indexed current-state arrays, next/pending
+// master buffers, every materialized accumulator shard, the per-step bitsets,
+// and the slot tables' auxiliary rank/gid structures. Transient frame
+// buffers (pool-backed) and the shared topology are excluded. The bench
+// suite's state_bytes_per_vertex metric and its regression guard are built
+// on this accounting, which is deterministic for a fixed graph and
+// configuration — unlike a live-heap sample, it cannot flake with GC timing.
+func (e *Engine[V]) StateBytes() uint64 {
+	vsz := uint64(unsafe.Sizeof(*new(V)))
+	bitsetBytes := func(b *bitset.Bitset) uint64 { return uint64(len(b.Words())) * 8 }
+	var total uint64
+	for _, w := range e.workers {
+		total += uint64(cap(w.cur)) * vsz
+		total += uint64(cap(w.next)) * vsz
+		total += uint64(cap(w.pendVal)) * vsz
+		for t := range w.acc {
+			if w.acc[t].val != nil {
+				total += uint64(cap(w.acc[t].val))*vsz + bitsetBytes(w.acc[t].set)
+			}
+		}
+		total += bitsetBytes(w.nextSet) + bitsetBytes(w.pendSet) + bitsetBytes(w.frontier)
+		total += w.st.AuxBytes()
+	}
+	return total
 }

@@ -13,7 +13,7 @@ import (
 // exact).
 func (e *Engine[V]) Get(v graph.VID) V {
 	e.checkVertex(v)
-	return e.workers[e.place.Owner(v)].cur[v]
+	return e.workers[e.place.Owner(v)].cur[e.place.LocalIndex(v)]
 }
 
 // Set overwrites v's state on its master and on every worker currently
@@ -22,8 +22,8 @@ func (e *Engine[V]) Get(v graph.VID) V {
 func (e *Engine[V]) Set(v graph.VID, val V) {
 	e.checkVertex(v)
 	for _, w := range e.workers {
-		if w.id == e.place.Owner(v) || w.part.Mirrors.Test(int(v)) || e.cfg.FullMirrors {
-			w.cur[v] = val
+		if slot, ok := w.st.Lookup(v); ok {
+			w.cur[slot] = val
 		}
 	}
 }
@@ -33,7 +33,7 @@ func (e *Engine[V]) Set(v graph.VID, val V) {
 func (e *Engine[V]) Gather(f func(v graph.VID, val *V)) {
 	for v := 0; v < e.g.NumVertices(); v++ {
 		gid := graph.VID(v)
-		f(gid, &e.workers[e.place.Owner(gid)].cur[gid])
+		f(gid, &e.workers[e.place.Owner(gid)].cur[e.place.LocalIndex(gid)])
 	}
 }
 
@@ -55,7 +55,7 @@ func (e *Engine[V]) CheckMirrorCoherence(eq func(a, b V) bool) error {
 		var err error
 		w.part.Mirrors.Range(func(v int) bool {
 			master := e.Get(graph.VID(v))
-			if !eq(w.cur[v], master) {
+			if !eq(w.cur[w.st.Slot(graph.VID(v))], master) {
 				err = &CoherenceError{Worker: w.id, Vertex: graph.VID(v)}
 				return false
 			}

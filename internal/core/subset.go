@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"flash/graph"
 	"flash/internal/bitset"
+	"flash/internal/partition"
 )
 
 // Subset is the paper's vertexSubset: a distributed set of vertex ids. Each
@@ -135,39 +137,22 @@ func (e *Engine[V]) Intersect(a, b *Subset) *Subset {
 }
 
 // IDs returns all member ids in ascending order (driver-side; intended for
-// result extraction and tests).
+// result extraction and tests). It walks the per-worker membership bitsets —
+// O(members + bitmap words) — instead of probing every vertex through
+// Owner/LocalIndex. Range placement concatenates in worker order (already
+// ascending by gid); other placements collect and sort.
 func (e *Engine[V]) IDs(s *Subset) []graph.VID {
 	e.checkSubset(s)
 	out := make([]graph.VID, 0, s.count)
-	for v := 0; v < e.g.NumVertices(); v++ {
-		if e.Contains(s, graph.VID(v)) {
-			out = append(out, graph.VID(v))
-		}
-	}
-	return out
-}
-
-// degreeSum computes Σ outDegreeHint over the members, used by the density
-// rule. Runs worker-parallel.
-func (e *Engine[V]) degreeSum(s *Subset, h EdgeSet[V]) int {
-	sums := make([]int, e.cfg.Workers)
-	// No exchange rounds here: the only possible failures are callback panics,
-	// which are non-recoverable, so unwind straight to Run.
-	if err := e.parallelWorkers(func(w *worker[V]) error {
-		total := 0
-		s.local[w.id].Range(func(l int) bool {
-			total += h.OutDegreeHint(&w.ctx, e.place.GlobalID(w.id, l))
+	for w := range s.local {
+		w := w
+		s.local[w].Range(func(l int) bool {
+			out = append(out, e.place.GlobalID(w, l))
 			return true
 		})
-		sums[w.id] = total
-		return nil
-	}); err != nil {
-		e.failed = err
-		panic(runtimeFailure{err})
 	}
-	total := 0
-	for _, x := range sums {
-		total += x
+	if _, ranged := e.place.(*partition.RangePlacement); !ranged {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	}
-	return total
+	return out
 }

@@ -117,8 +117,13 @@ func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	if err := e.tr.EndRound(w.id); err != nil {
 		return err
 	}
+	// Broadcast scopes can deliver masters this worker does not mirror;
+	// non-resident updates are dropped (the old full-size layout stored
+	// them in entries nothing ever read).
 	return w.drainKV(func(gid graph.VID, val *V) {
-		w.cur[gid] = *val
+		if slot, ok := w.st.Lookup(gid); ok {
+			w.cur[slot] = *val
+		}
 	})
 }
 
@@ -135,7 +140,7 @@ func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error
 		if scope == scopeBroadcast {
 			for to := 0; to < e.cfg.Workers; to++ {
 				if to != w.id {
-					if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
+					if sendErr = w.appendKV(to, gid, &w.cur[l]); sendErr != nil {
 						return false
 					}
 					msgs++
@@ -143,7 +148,7 @@ func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error
 			}
 		} else {
 			for _, to := range w.part.MirrorWorkers[l] {
-				if sendErr = w.appendKV(to, gid, &w.cur[gid]); sendErr != nil {
+				if sendErr = w.appendKV(to, gid, &w.cur[l]); sendErr != nil {
 					return false
 				}
 				msgs++
@@ -178,13 +183,13 @@ func (w *worker[V]) encodeSyncParallel(updated *bitset.Bitset, scope syncScope) 
 				if scope == scopeBroadcast {
 					for to := 0; to < e.cfg.Workers; to++ {
 						if to != w.id {
-							kws[to].Append(uint32(gid), &w.cur[gid])
+							kws[to].Append(uint32(gid), &w.cur[l])
 							msgs++
 						}
 					}
 				} else {
 					for _, to := range w.part.MirrorWorkers[l] {
-						kws[to].Append(uint32(gid), &w.cur[gid])
+						kws[to].Append(uint32(gid), &w.cur[l])
 						msgs++
 					}
 				}

@@ -31,12 +31,12 @@ func (e *Engine[V]) VertexMap(U *Subset, F func(Vtx[V]) bool, M func(Vtx[V]) V, 
 			w.timeBlock(metrics.Compute, func() {
 				w.forEachMember(membership, U.Size(), func(l int) {
 					gid := e.place.GlobalID(w.id, l)
-					v := w.vtx(gid)
+					v := w.vtxMaster(gid, l)
 					if F != nil && !F(v) {
 						return
 					}
 					if M != nil {
-						w.cur[gid] = M(v)
+						w.cur[l] = M(v)
 						updated.Set(l)
 					}
 					outBits.Set(l)
@@ -67,7 +67,7 @@ func (e *Engine[V]) VertexMapC(U *Subset, F func(c *Ctx[V], v Vtx[V]) bool, M fu
 			w.timeBlock(metrics.Compute, func() {
 				w.forEachMember(membership, U.Size(), func(l int) {
 					gid := e.place.GlobalID(w.id, l)
-					v := w.vtx(gid)
+					v := w.vtxMaster(gid, l)
 					if F != nil && !F(&w.ctx, v) {
 						return
 					}

@@ -117,6 +117,11 @@ type Part struct {
 	// MirrorWorkers[l] lists, for local master with local index l, the
 	// workers that hold a mirror of it ("necessary mirrors", §IV-C).
 	MirrorWorkers [][]int
+
+	// Slots is the worker's compact state layout: local masters first
+	// (slot == local index), then mirrors sorted by global id. Property
+	// arrays indexed by slot are O(masters + mirrors) instead of O(|V|).
+	Slots *SlotTable
 }
 
 // Partitioned bundles the graph, placement, and per-worker parts.
@@ -169,6 +174,10 @@ func New(g *graph.Graph, place Placement) *Partitioned {
 			p.Parts[ow].MirrorWorkers[li] = append(p.Parts[ow].MirrorWorkers[li], w)
 			return true
 		})
+	}
+	// Pass 3: freeze each worker's compact slot layout.
+	for w := 0; w < m; w++ {
+		p.Parts[w].Slots = NewSlotTable(place, w, p.Parts[w].Mirrors)
 	}
 	return p
 }
@@ -232,6 +241,52 @@ func (p *Partitioned) CheckInvariants() error {
 		})
 		if err != nil {
 			return err
+		}
+	}
+	for w, part := range p.Parts {
+		if err := checkSlots(part.Slots, p.Place, w, part.Mirrors); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSlots verifies the slot-table invariants: masters occupy slots
+// [0, MasterCount) at their local index, mirrors follow in ascending gid
+// order, and gid↔slot round-trips both ways.
+func checkSlots(st *SlotTable, place Placement, w int, mirrors *bitset.Bitset) error {
+	if st == nil {
+		return fmt.Errorf("worker %d has no slot table", w)
+	}
+	if st.MasterCount() != place.LocalCount(w) {
+		return fmt.Errorf("worker %d slot table has %d masters, placement %d",
+			w, st.MasterCount(), place.LocalCount(w))
+	}
+	if st.SlotCount() != st.MasterCount()+mirrors.Count() {
+		return fmt.Errorf("worker %d slot table has %d slots, want %d masters + %d mirrors",
+			w, st.SlotCount(), st.MasterCount(), mirrors.Count())
+	}
+	prev := graph.VID(0)
+	for slot := 0; slot < st.SlotCount(); slot++ {
+		gid := st.GID(slot)
+		if slot < st.MasterCount() {
+			if place.Owner(gid) != w || place.LocalIndex(gid) != slot {
+				return fmt.Errorf("worker %d slot %d: master gid %d not at its local index", w, slot, gid)
+			}
+		} else {
+			if !mirrors.Test(int(gid)) {
+				return fmt.Errorf("worker %d slot %d: gid %d is not a mirror", w, slot, gid)
+			}
+			if slot > st.MasterCount() && gid <= prev {
+				return fmt.Errorf("worker %d slot %d: mirror gids not ascending (%d after %d)", w, slot, gid, prev)
+			}
+			prev = gid
+		}
+		if got := st.Slot(gid); got != slot {
+			return fmt.Errorf("worker %d: Slot(GID(%d)) = %d", w, slot, got)
+		}
+		if got, ok := st.Lookup(gid); !ok || got != slot {
+			return fmt.Errorf("worker %d: Lookup(GID(%d)) = %d,%v", w, slot, got, ok)
 		}
 	}
 	return nil

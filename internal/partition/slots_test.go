@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"testing"
+
+	"flash/graph"
+	"flash/internal/bitset"
+)
+
+// slotPlacements builds both placement kinds for the slot-table tests.
+func slotPlacements(n, m int) map[string]Placement {
+	return map[string]Placement{
+		"range": NewRange(n, m),
+		"hash":  NewHash(n, m),
+	}
+}
+
+func TestSlotTableLayout(t *testing.T) {
+	g := graph.GenRMAT(512, 512*8, 7)
+	n := g.NumVertices()
+	for name, place := range slotPlacements(n, 4) {
+		t.Run(name, func(t *testing.T) {
+			p := New(g, place)
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for w, part := range p.Parts {
+				st := part.Slots
+				if st.MasterCount() != place.LocalCount(w) {
+					t.Fatalf("worker %d: %d masters, want %d", w, st.MasterCount(), place.LocalCount(w))
+				}
+				if st.SlotCount() != st.MasterCount()+part.Mirrors.Count() {
+					t.Fatalf("worker %d: %d slots, want %d masters + %d mirrors",
+						w, st.SlotCount(), st.MasterCount(), part.Mirrors.Count())
+				}
+				// Masters occupy slots [0, MasterCount) at their local index.
+				for l := 0; l < st.MasterCount(); l++ {
+					gid := place.GlobalID(w, l)
+					if got := st.Slot(gid); got != l {
+						t.Fatalf("worker %d: master %d at slot %d, want %d", w, gid, got, l)
+					}
+				}
+				// Mirrors follow, sorted by ascending gid, and round-trip.
+				prevSlot, prevGid := st.MasterCount()-1, graph.VID(0)
+				seen := 0
+				st.RangeMirrors(func(slot int, gid graph.VID) bool {
+					if slot != prevSlot+1 {
+						t.Fatalf("worker %d: mirror slot %d not contiguous after %d", w, slot, prevSlot)
+					}
+					if seen > 0 && gid <= prevGid {
+						t.Fatalf("worker %d: mirror gids not ascending (%d after %d)", w, gid, prevGid)
+					}
+					if !part.Mirrors.Test(int(gid)) {
+						t.Fatalf("worker %d: slot %d gid %d is not a mirror", w, slot, gid)
+					}
+					prevSlot, prevGid = slot, gid
+					seen++
+					return true
+				})
+				if seen != st.MirrorCount() {
+					t.Fatalf("worker %d: RangeMirrors visited %d of %d mirrors", w, seen, st.MirrorCount())
+				}
+				// Full gid↔slot round-trip through both directions.
+				for slot := 0; slot < st.SlotCount(); slot++ {
+					gid := st.GID(slot)
+					if got := st.Slot(gid); got != slot {
+						t.Fatalf("worker %d: Slot(GID(%d)) = %d", w, slot, got)
+					}
+					if got, ok := st.Lookup(gid); !ok || got != slot {
+						t.Fatalf("worker %d: Lookup(GID(%d)) = %d,%v", w, slot, got, ok)
+					}
+				}
+				// Non-resident vertices must fail Lookup.
+				for v := 0; v < n; v++ {
+					gid := graph.VID(v)
+					resident := place.Owner(gid) == w || part.Mirrors.Test(v)
+					if _, ok := st.Lookup(gid); ok != resident {
+						t.Fatalf("worker %d: Lookup(%d) = %v, resident %v", w, gid, ok, resident)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFullSlotTable(t *testing.T) {
+	const n, m = 130, 3
+	for name, place := range slotPlacements(n, m) {
+		t.Run(name, func(t *testing.T) {
+			for w := 0; w < m; w++ {
+				st := FullSlotTable(place, w, n)
+				if st.SlotCount() != n {
+					t.Fatalf("worker %d: %d slots, want %d", w, st.SlotCount(), n)
+				}
+				if st.MirrorCount() != n-place.LocalCount(w) {
+					t.Fatalf("worker %d: %d mirrors", w, st.MirrorCount())
+				}
+				for v := 0; v < n; v++ {
+					slot, ok := st.Lookup(graph.VID(v))
+					if !ok {
+						t.Fatalf("worker %d: vertex %d not resident under full replication", w, v)
+					}
+					if st.GID(slot) != graph.VID(v) {
+						t.Fatalf("worker %d: GID(Slot(%d)) = %d", w, v, st.GID(slot))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSlotTableEmptyMirrors(t *testing.T) {
+	place := NewRange(64, 1)
+	st := NewSlotTable(place, 0, bitset.New(64))
+	if st.SlotCount() != 64 || st.MirrorCount() != 0 {
+		t.Fatalf("single-worker table: %d slots, %d mirrors", st.SlotCount(), st.MirrorCount())
+	}
+	st.RangeMirrors(func(int, graph.VID) bool {
+		t.Fatal("RangeMirrors visited a slot with no mirrors")
+		return false
+	})
+}
