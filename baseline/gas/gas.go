@@ -106,6 +106,7 @@ func Run[V, G any](g *graph.Graph, init func(v graph.VID) V, frontier []graph.VI
 			break
 		}
 		var wg sync.WaitGroup
+		errs := make([]error, cfg.Workers)
 		for w := 0; w < cfg.Workers; w++ {
 			w := w
 			wg.Add(1)
@@ -170,18 +171,27 @@ func Run[V, G any](g *graph.Graph, init func(v graph.VID) V, frontier []graph.VI
 						continue
 					}
 					if len(out) > 0 {
-						tr.Send(w, to, append([]byte{0}, out...))
+						if err := tr.Send(w, to, append([]byte{0}, out...)); err != nil {
+							errs[w] = err
+							return
+						}
 					}
 					if len(acts) > 0 {
-						tr.Send(w, to, append([]byte{1}, acts...))
+						if err := tr.Send(w, to, append([]byte{1}, acts...)); err != nil {
+							errs[w] = err
+							return
+						}
 					}
 				}
 				// Local activations apply directly.
 				for off := 0; off < len(acts); off += 4 {
 					next.Set(int(binary.LittleEndian.Uint32(acts[off:])))
 				}
-				tr.EndRound(w)
-				tr.Drain(w, func(_ int, data []byte) {
+				if err := tr.EndRound(w); err != nil {
+					errs[w] = err
+					return
+				}
+				errs[w] = tr.Drain(w, func(_ int, data []byte) {
 					switch data[0] {
 					case 0:
 						off := 1
@@ -205,6 +215,11 @@ func Run[V, G any](g *graph.Graph, init func(v graph.VID) V, frontier []graph.VI
 			}()
 		}
 		wg.Wait()
+		for w := 0; w < cfg.Workers; w++ {
+			if errs[w] != nil {
+				return Result[V]{}, fmt.Errorf("gas: iteration %d: worker %d: %w", iters, w, errs[w])
+			}
+		}
 		for w := 0; w < cfg.Workers; w++ {
 			active[w], nextActive[w] = nextActive[w], active[w]
 		}

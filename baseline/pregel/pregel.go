@@ -144,7 +144,7 @@ func (w *worker[V, M]) bufferMsg(dst graph.VID, msg M) {
 	w.outRaw[to] = buf
 }
 
-func (w *worker[V, M]) flush() {
+func (w *worker[V, M]) flush() error {
 	if w.prog.Combine != nil {
 		for dst, msg := range w.pending {
 			w.bufferMsg(dst, msg)
@@ -153,18 +153,20 @@ func (w *worker[V, M]) flush() {
 	}
 	for to, buf := range w.outRaw {
 		if len(buf) > 0 {
-			w.tr.Send(w.id, to, buf)
+			if err := w.tr.Send(w.id, to, buf); err != nil {
+				return err
+			}
 			w.outRaw[to] = nil
 		}
 	}
-	w.tr.EndRound(w.id)
+	return w.tr.EndRound(w.id)
 }
 
 // drain receives this round's messages into inboxes; returns how many
 // arrived.
-func (w *worker[V, M]) drain() int {
+func (w *worker[V, M]) drain() (int, error) {
 	received := 0
-	w.tr.Drain(w.id, func(_ int, data []byte) {
+	err := w.tr.Drain(w.id, func(_ int, data []byte) {
 		off := 0
 		for off < len(data) {
 			dst := graph.VID(binary.LittleEndian.Uint32(data[off:]))
@@ -184,7 +186,7 @@ func (w *worker[V, M]) drain() int {
 			received++
 		}
 	})
-	return received
+	return received, err
 }
 
 // Result of a run.
@@ -238,6 +240,7 @@ func Run[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) (Result[V], e
 		receivedTotal := 0
 		var mu sync.Mutex
 		var wg sync.WaitGroup
+		errs := make([]error, len(workers))
 		for _, w := range workers {
 			w := w
 			wg.Add(1)
@@ -257,8 +260,15 @@ func Run[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) (Result[V], e
 						w.halted.Set(l)
 					}
 				}
-				w.flush()
-				received := w.drain()
+				if err := w.flush(); err != nil {
+					errs[w.id] = err
+					return
+				}
+				received, err := w.drain()
+				if err != nil {
+					errs[w.id] = err
+					return
+				}
 				mu.Lock()
 				activeTotal += active
 				receivedTotal += received
@@ -266,6 +276,11 @@ func Run[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) (Result[V], e
 			}()
 		}
 		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return res, fmt.Errorf("pregel: superstep %d: worker %d: %w", step, i, err)
+			}
+		}
 		res.Supersteps = step + 1
 		if activeTotal == 0 && receivedTotal == 0 {
 			break

@@ -1,0 +1,60 @@
+// Command flashvet is the module's invariant checker: a multichecker of the
+// five custom analyzers in internal/lint, run the way `go vet` would be:
+//
+//	go run ./cmd/flashvet ./...
+//
+// It loads the packages matching the given patterns (default ./...) from
+// source against compiler export data, applies every analyzer, prints one
+// line per finding, and exits non-zero if anything was reported.
+//
+// Diagnostics can be suppressed at the offending line with
+// //flash:allow <analyzer> <reason>; commerr additionally honors
+// //flash:ignore-err <reason>. Both demand a written reason so the waiver
+// argument lives next to the code it excuses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flash/internal/lint"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: flashvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "flashvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

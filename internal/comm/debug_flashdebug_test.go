@@ -1,0 +1,21 @@
+//go:build flashdebug
+
+package comm
+
+import "testing"
+
+// TestPutBufPoisons verifies the flashdebug recycle poisoning: an alias
+// retained past PutBuf must observe PoisonByte, not the old payload.
+func TestPutBufPoisons(t *testing.T) {
+	b := GetBuf()
+	for i := 0; i < MinPooledCap; i++ {
+		b = append(b, byte(i))
+	}
+	alias := b[:MinPooledCap]
+	PutBuf(b)
+	for i, got := range alias {
+		if got != PoisonByte {
+			t.Fatalf("alias[%d] = %#x after PutBuf, want poison %#x", i, got, PoisonByte)
+		}
+	}
+}

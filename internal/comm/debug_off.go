@@ -1,0 +1,12 @@
+//go:build !flashdebug
+
+package comm
+
+// debugPoison is off in release builds: recycled frames keep their contents
+// and the poison loop below compiles away.
+const debugPoison = false
+
+// PoisonByte is the fill value stamped over recycled frames under flashdebug.
+const PoisonByte = 0xDD
+
+func poisonFrame([]byte) {}

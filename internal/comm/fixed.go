@@ -101,6 +101,7 @@ func (c *FixedCodec[V]) plan(t reflect.Type, off uintptr) bool {
 // WireSize returns the fixed encoded size of one value.
 func (c *FixedCodec[V]) WireSize() int { return c.wire }
 
+//flash:hotpath
 func (c *FixedCodec[V]) Append(dst []byte, v *V) []byte {
 	p := unsafe.Pointer(v)
 	for i := range c.fields {
@@ -130,6 +131,7 @@ func (c *FixedCodec[V]) Append(dst []byte, v *V) []byte {
 	return dst
 }
 
+//flash:hotpath
 func (c *FixedCodec[V]) Decode(src []byte, v *V) (int, error) {
 	if len(src) < c.wire {
 		return 0, errShort

@@ -26,12 +26,14 @@ func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // AppendVIDDelta appends cur delta-encoded against prev.
+//flash:hotpath
 func AppendVIDDelta(dst []byte, prev, cur uint32) []byte {
 	return binary.AppendUvarint(dst, zigzag(int64(cur)-int64(prev)))
 }
 
 // ReadVIDDelta decodes the next vid given the previous one, returning the vid
 // and the bytes consumed.
+//flash:hotpath
 func ReadVIDDelta(src []byte, prev uint32) (uint32, int, error) {
 	u, k := binary.Uvarint(src)
 	if k <= 0 {
@@ -59,6 +61,8 @@ type KVWriter[V any] struct {
 func (kw *KVWriter[V]) Init(c Codec[V]) { kw.codec = c }
 
 // Append encodes one record.
+//flash:hotpath
+//flash:deterministic
 func (kw *KVWriter[V]) Append(vid uint32, v *V) {
 	if kw.buf == nil {
 		kw.buf = GetBuf()
@@ -75,6 +79,7 @@ func (kw *KVWriter[V]) Len() int { return len(kw.buf) }
 // Take returns the pending frame and resets the writer. The returned buffer
 // is pool-backed: whoever consumes it releases it with PutBuf (the transports
 // do this for delivered frames).
+//flash:hotpath
 func (kw *KVWriter[V]) Take() []byte {
 	b := kw.buf
 	kw.buf = nil
@@ -83,6 +88,7 @@ func (kw *KVWriter[V]) Take() []byte {
 }
 
 // Discard drops the pending frame back into the pool (checkpoint rollback).
+//flash:hotpath
 func (kw *KVWriter[V]) Discard() {
 	if kw.buf != nil {
 		PutBuf(kw.buf)
@@ -95,6 +101,7 @@ func (kw *KVWriter[V]) Discard() {
 // pair to apply. The value pointer is only valid during the call: apply must
 // copy the value (not the pointer) if it outlives the callback, which makes
 // the decode allocation-free for fixed-width property types.
+//flash:hotpath
 func DecodeKV[V any](c Codec[V], data []byte, apply func(vid uint32, v *V)) error {
 	var val V
 	prev := uint32(0)

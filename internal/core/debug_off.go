@@ -1,0 +1,9 @@
+//go:build !flashdebug
+
+package core
+
+// debugChecks is off in release builds: the sampling in syncMasters and the
+// coherence check compile away.
+const debugChecks = false
+
+func (w *worker[V]) debugCheckMirrorSamples([]debugSample) {}

@@ -1,0 +1,42 @@
+//go:build flashdebug
+
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// debugChecks enables the post-sync mirror-coherence spot check (and any
+// other flashdebug-only engine assertions).
+const debugChecks = true
+
+// debugCheckMirrorSamples verifies, for a sample of the mirror slots this
+// worker just wrote in syncMasters' drain, that the stored value is
+// byte-identical (under the engine codec) to the owning worker's master
+// value. A mismatch means a slot-aliasing or codec round-trip bug.
+//
+// Safe to run concurrently with the other workers finishing their own
+// syncMasters: drainKV returning means every peer passed EndRound, and a
+// peer's master region is final by then — during the sync round peers write
+// only their mirror slots (a master's owner never receives its own gid), and
+// syncMasters is the last statement of every phase closure, so no master
+// mutates again until parallelWorkers joins.
+func (w *worker[V]) debugCheckMirrorSamples(samples []debugSample) {
+	e := w.eng
+	var mine, theirs []byte
+	for _, s := range samples {
+		owner := e.place.Owner(s.gid)
+		if owner == w.id {
+			panic(fmt.Sprintf("flashdebug: worker %d received its own master %d in a sync round", w.id, s.gid))
+		}
+		peer := e.workers[owner]
+		mine = e.codec.Append(mine[:0], &w.cur[s.slot])
+		theirs = e.codec.Append(theirs[:0], &peer.cur[peer.st.Slot(s.gid)])
+		if !bytes.Equal(mine, theirs) {
+			panic(fmt.Sprintf(
+				"flashdebug: mirror incoherent after sync: vertex %d on worker %d (slot %d) encodes %x, master on worker %d encodes %x",
+				s.gid, w.id, s.slot, mine, owner, theirs))
+		}
+	}
+}

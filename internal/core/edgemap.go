@@ -88,6 +88,8 @@ func (e *Engine[V]) isDense(U *Subset, H EdgeSet[V]) bool {
 // H-out-edges; per-target partials are reduced locally, shipped to the
 // target's master, reduced again with the current value, applied, and the
 // final values are synchronized back to mirrors. Two exchange rounds.
+//flash:hotpath
+//flash:deterministic
 func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], R EdgeR[V], opts StepOpts) *Subset {
 	e.checkSubset(U)
 	if R == nil {
@@ -263,6 +265,7 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 // shard 0 needs resetting next superstep. The fold visits threads in
 // ascending order, keeping the reduction order deterministic for a fixed
 // Threads setting.
+//flash:hotpath
 func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 	a0 := &w.acc[0]
 	w.parfor(a0.set.Cap(), func(lo, hi int) {
@@ -295,6 +298,7 @@ func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 
 // foldPend merges an incoming partial for local master l. It copies the
 // value, so callers may pass pointers into decode scratch or accumulators.
+//flash:hotpath
 func (w *worker[V]) foldPend(l int, val *V, R EdgeR[V]) {
 	if w.pendSet.TestAndSet(l) {
 		w.pendVal[l] = R(*val, w.pendVal[l])
@@ -308,6 +312,7 @@ func (w *worker[V]) foldPend(l int, val *V, R EdgeR[V]) {
 // sequentially applying M for in-neighbors in U until C fails, then
 // synchronizes updated masters. One value-exchange round plus the frontier
 // round.
+//flash:hotpath
 func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], opts StepOpts) *Subset {
 	e.checkSubset(U)
 	if !H.SupportsIn() {
@@ -385,6 +390,8 @@ const (
 // layout makes that broadcast O(|U|) bytes instead. The sparse attempt aborts
 // as soon as it reaches the dense size, so encoding never costs more than
 // O(min(|U|, span)) work.
+//flash:hotpath
+//flash:deterministic
 func encodeFrontier(scratch []byte, words []uint64, lo, hi int) []byte {
 	denseSize := 5 + 8*(hi-lo)
 	cnt := 0
@@ -426,6 +433,7 @@ func encodeFrontier(scratch []byte, words []uint64, lo, hi int) []byte {
 // decodeFrontier ORs one frontier frame into the global bitmap words. It
 // validates bounds and varint framing so a corrupt frame fails the superstep
 // instead of corrupting memory.
+//flash:hotpath
 func decodeFrontier(data []byte, words []uint64) error {
 	if len(data) == 0 {
 		return fmt.Errorf("core: empty frontier frame")
@@ -481,6 +489,8 @@ func decodeFrontier(data []byte, words []uint64) error {
 // round) and materializes them in w.frontier as a global bitmap. Frames carry
 // either the word span of the bitmap or a sparse vid list, whichever is
 // smaller for this worker's members.
+//flash:hotpath
+//flash:deterministic
 func (w *worker[V]) broadcastFrontier(U *Subset) error {
 	e := w.eng
 	sstart := time.Now()

@@ -208,11 +208,11 @@ type worker[V any] struct {
 	// cur holds the current states (§IV-A) indexed by slot: one entry per
 	// resident vertex (local masters and mirrors), O(masters+mirrors)
 	// instead of O(|V|).
-	cur []V
+	cur []V //flash:slot-indexed
 
 	// next holds next states for local masters (by local index == slot),
 	// created lazily per superstep; nextSet marks which are populated.
-	next    []V
+	next    []V //flash:slot-indexed
 	nextSet *bitset.Bitset
 
 	// acc holds the sparse-kernel accumulators over the slot space (the
@@ -228,7 +228,7 @@ type worker[V any] struct {
 
 	// pend* accumulate partial updates arriving at this master (by local
 	// index) during the sparse exchange.
-	pendVal []V
+	pendVal []V //flash:slot-indexed
 	pendSet *bitset.Bitset
 
 	// frontier is this worker's copy of the global frontier bitmap used by
@@ -256,7 +256,7 @@ type worker[V any] struct {
 
 // accShard is one thread's private phase-1 accumulator.
 type accShard[V any] struct {
-	val []V
+	val []V //flash:slot-indexed
 	set *bitset.Bitset
 }
 
@@ -442,6 +442,7 @@ func (p *workerPanic) Error() string {
 // dropped connection heals, reconnects — into the worker's metric shard.
 // Payload bytes are counted on the first successful send, so the collector's
 // Bytes reflects delivered traffic, not retry amplification.
+//flash:hotpath
 func (w *worker[V]) send(to int, data []byte) error {
 	e := w.eng
 	backoff := e.cfg.RetryBackoff
@@ -569,6 +570,7 @@ func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 // cur, parallel over 64-aligned chunks (distinct local indices map to
 // distinct masters, so the writes never collide). A master's slot is its
 // local index, so no id translation is needed.
+//flash:hotpath
 func (w *worker[V]) publishNext(updated *bitset.Bitset) {
 	words := updated.Words()
 	w.parfor(updated.Cap(), func(lo, hi int) {
@@ -620,6 +622,7 @@ func (w *worker[V]) forEachMember(membership *bitset.Bitset, count int, f func(l
 
 // vtx builds the callback view for v using this worker's current states.
 // v must be resident (a local master or mirror).
+//flash:hotpath
 func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,
@@ -631,6 +634,7 @@ func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 
 // vtxMaster is vtx for a local master whose local index (== slot) is already
 // known, skipping the gid→slot lookup on master-walk hot paths.
+//flash:hotpath
 func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,
@@ -641,6 +645,7 @@ func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
 }
 
 // vtxAt is like vtx but points Val at an explicit working copy.
+//flash:hotpath
 func (w *worker[V]) vtxAt(v graph.VID, val *V) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,
@@ -665,6 +670,7 @@ func (c *Ctx[V]) Get(v graph.VID) *V { return &c.w.cur[c.w.st.Slot(v)] }
 func (c *Ctx[V]) Worker() int { return c.w.id }
 
 // timeBlock measures a closure into the worker's metric shard.
+//flash:hotpath
 func (w *worker[V]) timeBlock(cat metrics.Category, f func()) {
 	start := time.Now()
 	f()

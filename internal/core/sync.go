@@ -39,6 +39,8 @@ func (e *Engine[V]) scopeFor(physical bool, noSync bool) syncScope {
 // when BatchBytes is exceeded so transfer overlaps remaining work. Callers
 // must append in ascending gid order per destination — the frame's vid
 // deltas then stay small and the message bytes are deterministic.
+//flash:hotpath
+//flash:deterministic
 func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
 	kw := &w.outKV[to]
 	kw.Append(uint32(gid), val)
@@ -49,6 +51,8 @@ func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
 }
 
 // flushAll sends every non-empty pending KV frame.
+//flash:hotpath
+//flash:deterministic
 func (w *worker[V]) flushAll() error {
 	for to := range w.outKV {
 		if w.outKV[to].Len() > 0 {
@@ -66,6 +70,7 @@ func (w *worker[V]) flushAll() error {
 // is a superstep failure, not a panic: the remaining frames are still
 // drained to keep the round consistent, and the first decode error is
 // returned alongside transport failures (stall, abort).
+//flash:hotpath
 func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 	var decode time.Duration
 	var decodeErr error
@@ -98,6 +103,8 @@ func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 // in fixed (destination, thread) order after the scan, so the per-receiver
 // byte stream stays deterministic; BatchBytes overlap applies only to the
 // sequential path.
+//flash:hotpath
+//flash:deterministic
 func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	if scope != scopeNone {
@@ -120,16 +127,43 @@ func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	// Broadcast scopes can deliver masters this worker does not mirror;
 	// non-resident updates are dropped (the old full-size layout stored
 	// them in entries nothing ever read).
-	return w.drainKV(func(gid graph.VID, val *V) {
+	var samples []debugSample
+	if debugChecks {
+		samples = make([]debugSample, 0, debugSampleCap)
+	}
+	err := w.drainKV(func(gid graph.VID, val *V) {
 		if slot, ok := w.st.Lookup(gid); ok {
 			w.cur[slot] = *val
+			if debugChecks && len(samples) < debugSampleCap {
+				samples = append(samples, debugSample{gid: gid, slot: slot})
+			}
 		}
 	})
+	if err != nil {
+		return err
+	}
+	if debugChecks {
+		w.debugCheckMirrorSamples(samples)
+	}
+	return nil
 }
+
+// debugSample is one (gid, mirror slot) pair recorded during the sync drain
+// for the flashdebug coherence spot check; see debugCheckMirrorSamples.
+type debugSample struct {
+	gid  graph.VID
+	slot int
+}
+
+// debugSampleCap bounds how many just-synced mirrors each worker re-verifies
+// per round under flashdebug.
+const debugSampleCap = 64
 
 // encodeSyncSeq is the single-threaded encode: one ascending pass over the
 // updated masters, streaming into the per-destination frames (with eager
 // BatchBytes flushing).
+//flash:hotpath
+//flash:deterministic
 func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	sstart := time.Now()
@@ -166,6 +200,8 @@ func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error
 // per-destination frames, then the frames ship in (destination, thread)
 // order. Encoding into private frames cannot fail; send errors surface from
 // the sequential ship loop.
+//flash:hotpath
+//flash:deterministic
 func (w *worker[V]) encodeSyncParallel(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	sstart := time.Now()

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flash/internal/lint"
+	"flash/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestHotAlloc(t *testing.T)   { linttest.Run(t, fixture("hotalloc"), lint.HotAlloc) }
+func TestPoolEscape(t *testing.T) { linttest.Run(t, fixture("poolescape"), lint.PoolEscape) }
+func TestCommErr(t *testing.T)    { linttest.Run(t, fixture("commerr"), lint.CommErr) }
+func TestDetOrder(t *testing.T)   { linttest.Run(t, fixture("detorder"), lint.DetOrder) }
+func TestSlotIndex(t *testing.T)  { linttest.Run(t, fixture("slotindex"), lint.SlotIndex) }
+
+// TestSelfCheck runs every analyzer over the whole module: the shipped
+// runtime must be flashvet-clean. This is the same invocation CI's lint job
+// performs via cmd/flashvet.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check shells out to go list; skipped in -short")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

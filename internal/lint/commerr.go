@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommErr enforces the PR-1 error-propagation contract: every error returned
+// by the fault-surface methods — Transport.Send / EndRound / Drain (on the
+// interface or any concrete transport) and Engine.Run — must be checked.
+//
+// A call whose result is dropped (expression statement) or assigned only to
+// blank identifiers is flagged unless the line (or the line above) carries
+// an explicit //flash:ignore-err <reason> marker. PR 1 made every one of
+// these paths return an error precisely because a swallowed transport
+// failure turns into a hung barrier or silently wrong results; the marker
+// forces the "this cannot fail here" argument into the source.
+var CommErr = &Analyzer{
+	Name: "commerr",
+	Doc:  "transport Send/EndRound/Drain and Engine.Run errors must be checked or //flash:ignore-err annotated",
+	Run:  runCommErr,
+}
+
+// commErrReceivers are the named types whose fault-surface methods are
+// guarded. Matching is by type name so analysistest fixtures can declare
+// local stubs; the shipped runtime's transports and engines all use these
+// names.
+var commErrReceivers = map[string]bool{
+	"Transport": true, // comm.Transport interface
+	"Mem":       true, // comm.Mem
+	"TCP":       true, // comm.TCP
+	"Faulty":    true, // comm.Faulty chaos wrapper
+	"Engine":    true, // core.Engine / flash.Engine
+}
+
+var commErrMethods = map[string]bool{
+	"Send":     true,
+	"EndRound": true,
+	"Drain":    true,
+	"Run":      true,
+}
+
+func runCommErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkCommCall(pass, call, "discarded")
+				}
+			case *ast.AssignStmt:
+				if !allBlank(n.Lhs) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+						checkCommCall(pass, call, "assigned to _")
+					}
+				}
+			case *ast.GoStmt:
+				checkCommCall(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkCommCall(pass, n.Call, "discarded by defer")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+func checkCommCall(pass *Pass, call *ast.CallExpr, how string) {
+	typeName, methodName := receiverTypeName(pass.Info, call)
+	if !commErrReceivers[typeName] || !commErrMethods[methodName] {
+		return
+	}
+	// Only error-returning fault-surface methods count (a fixture stub whose
+	// Send returns nothing is not a transport).
+	if !lastResultIsError(pass, call) {
+		return
+	}
+	if hasIgnoreErr(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s error %s: check it or annotate with //flash:ignore-err <reason>",
+		typeName, methodName, how)
+}
+
+func lastResultIsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if isErrorType(tv.Type) {
+		return true
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok && tuple.Len() > 0 {
+		return isErrorType(tuple.At(tuple.Len() - 1).Type())
+	}
+	return false
+}
+
+func hasIgnoreErr(pass *Pass, call *ast.CallExpr) bool {
+	pos := pass.Fset.Position(call.Pos())
+	for _, m := range pass.markersAt(pos.Filename, pos.Line) {
+		if len(m) > len("ignore-err ") && m[:len("ignore-err ")] == "ignore-err " {
+			return true // marker with a non-empty reason
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetOrder enforces the PR-2/PR-3 determinism contract: the bytes a worker
+// ships must be a deterministic function of engine state, because the golden
+// matrix asserts byte-identical message streams across runs and the replay
+// recovery path re-executes supersteps expecting identical frames. Go
+// randomizes map iteration order, so a single `range m` over a map anywhere
+// in the frame-encode or ship-order path silently breaks both.
+//
+// Functions whose doc comment carries //flash:deterministic are roots;
+// the analyzer walks the package-local static call graph (direct calls and
+// function-value references) and flags every map range statement inside a
+// root or anything reachable from one. Cross-package encode helpers carry
+// their own //flash:deterministic marker in their home package. Test files
+// are never analyzed, so map-keyed subtest tables stay exempt.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "no map iteration reachable from //flash:deterministic encode/ship-order code",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) error {
+	// Collect every function declaration and its object.
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []types.Object
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fn
+			if HasMarker(fn, "deterministic") {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Build the reference graph: fn → package-local functions it mentions.
+	// References (not just direct calls) over-approximate reachability, which
+	// is the safe direction for a determinism contract: a function value
+	// handed to parfor or Range is still executed on the path.
+	refs := map[types.Object][]types.Object{}
+	for obj, fn := range decls {
+		seen := map[types.Object]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			used := pass.Info.Uses[id]
+			if used == nil || seen[used] {
+				return true
+			}
+			if _, isFn := decls[used]; isFn {
+				seen[used] = true
+				refs[obj] = append(refs[obj], used)
+			}
+			return true
+		})
+	}
+
+	// BFS from the roots.
+	reachable := map[types.Object]bool{}
+	queue := append([]types.Object(nil), roots...)
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		if reachable[obj] {
+			continue
+		}
+		reachable[obj] = true
+		queue = append(queue, refs[obj]...)
+	}
+
+	for obj := range reachable {
+		fn := decls[obj]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(rng.Pos(),
+					"map iteration in %s is reachable from //flash:deterministic code; iterate a sorted slice instead (map order is randomized)",
+					fn.Name.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

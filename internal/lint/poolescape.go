@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape enforces the PR-2 frame-pool ownership contract: a frame slice
+// delivered to a Transport.Drain handler is recycled into the pool the
+// moment the handler returns, so the handler must treat it as borrowed.
+//
+// The analyzer inspects every function literal passed as an argument to a
+// call of a method named Drain and taints the literal's []byte parameters
+// (plus locals assigned from them, including via re-slicing). A tainted
+// value may be read, indexed, sliced, and passed to ordinary synchronous
+// calls (decoders copy out of it), but it must not outlive the handler:
+//
+//   - returned from the handler;
+//   - sent on a channel;
+//   - assigned through a selector, an index expression, a dereference, or
+//     any variable not declared inside the handler (captured or global);
+//   - handed to a goroutine via go or deferred with defer.
+//
+// Each of those is a use-after-recycle: the pool will hand the same backing
+// array to the next encoder and the retained alias silently mutates.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "pooled frames delivered to Drain handlers must not escape",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Drain" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkDrainHandler(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDrainHandler(pass *Pass, lit *ast.FuncLit) {
+	tainted := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		if !isByteSlice(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Propagate taint through local aliases: d := data, d := data[1:].
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if taintedAlias(pass, as.Rhs[i], tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if referencesTainted(pass, res, tainted) {
+					pass.Reportf(res.Pos(), "pooled frame escapes its Drain handler via return; it is recycled when the handler returns")
+				}
+			}
+		case *ast.SendStmt:
+			if referencesTainted(pass, n.Value, tainted) {
+				pass.Reportf(n.Value.Pos(), "pooled frame escapes its Drain handler via channel send; copy it first")
+			}
+		case *ast.GoStmt:
+			if callReferencesTainted(pass, n.Call, tainted) {
+				pass.Reportf(n.Call.Pos(), "pooled frame handed to a goroutine outlives its Drain handler; copy it first")
+			}
+		case *ast.DeferStmt:
+			if callReferencesTainted(pass, n.Call, tainted) {
+				pass.Reportf(n.Call.Pos(), "pooled frame captured by defer may be read after recycling; copy it first")
+			}
+		case *ast.AssignStmt:
+			checkHandlerAssign(pass, lit, n, tainted)
+		}
+		return true
+	})
+}
+
+// checkHandlerAssign flags stores of tainted values into locations that
+// outlive the handler.
+func checkHandlerAssign(pass *Pass, lit *ast.FuncLit, as *ast.AssignStmt, tainted map[types.Object]bool) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			rhs = as.Rhs[i]
+		case len(as.Rhs) == 1:
+			rhs = as.Rhs[0]
+		default:
+			continue
+		}
+		if !referencesTainted(pass, rhs, tainted) {
+			continue
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[l]
+			if obj == nil {
+				obj = pass.Info.Uses[l]
+			}
+			if obj == nil {
+				continue
+			}
+			if declaredWithin(obj, lit) {
+				continue // local alias: tracked by the taint pass
+			}
+			pass.Reportf(lhs.Pos(), "pooled frame stored in %s, which outlives its Drain handler; copy the bytes instead", l.Name)
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			pass.Reportf(lhs.Pos(), "pooled frame stored through %s escapes its Drain handler; copy the bytes instead", types.ExprString(lhs))
+		}
+	}
+}
+
+func declaredWithin(obj types.Object, lit *ast.FuncLit) bool {
+	pos := obj.Pos()
+	return pos != token.NoPos && pos >= lit.Pos() && pos < lit.End()
+}
+
+// taintedAlias reports whether expr is a direct alias of a tainted slice:
+// the ident itself or a re-slice of it (both share the backing array).
+func taintedAlias(pass *Pass, expr ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return tainted[pass.Info.Uses[e]]
+	case *ast.SliceExpr:
+		return taintedAlias(pass, e.X, tainted)
+	}
+	return false
+}
+
+// referencesTainted reports whether expr is (or re-slices) a tainted value,
+// or is an append/composite literal carrying one (a store that keeps the
+// alias alive). Indexing (data[i]) and ordinary calls (decode(data)) do not
+// escape and are not counted.
+func referencesTainted(pass *Pass, expr ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if calleeName(e) == "append" {
+			for i, arg := range e.Args[1:] {
+				if e.Ellipsis != token.NoPos && i == len(e.Args)-2 {
+					continue // append(dst, data...) copies the bytes out
+				}
+				if taintedAlias(pass, arg, tainted) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if taintedAlias(pass, elt, tainted) {
+				return true
+			}
+		}
+		return false
+	}
+	return taintedAlias(pass, expr, tainted)
+}
+
+// callReferencesTainted reports whether any argument of call aliases a
+// tainted frame.
+func callReferencesTainted(pass *Pass, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if taintedAlias(pass, arg, tainted) {
+			return true
+		}
+	}
+	return false
+}
+
+func isByteSlice(pass *Pass, typeExpr ast.Expr) bool {
+	tv, ok := pass.Info.Types[typeExpr]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}

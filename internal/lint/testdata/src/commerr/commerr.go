@@ -1,0 +1,51 @@
+// Fixture for the commerr analyzer: fault-surface errors (transport
+// Send/EndRound/Drain, Engine.Run) must be checked or explicitly waived
+// with //flash:ignore-err <reason>.
+package commerr
+
+type Transport struct{}
+
+func (t *Transport) Send(from, to int, data []byte) error    { return nil }
+func (t *Transport) EndRound(from int) error                 { return nil }
+func (t *Transport) Drain(to int, h func(int, []byte)) error { return nil }
+
+type Engine struct{}
+
+func (e *Engine) Run(p func() error) (int, error) { return 0, nil }
+
+func bad(tr *Transport, e *Engine) {
+	tr.Send(0, 1, nil)   // want `Transport.Send error discarded`
+	_ = tr.EndRound(0)   // want `Transport.EndRound error assigned to _`
+	tr.Drain(0, nil)     // want `Transport.Drain error discarded`
+	e.Run(nil)           // want `Engine.Run error discarded`
+	go tr.Send(1, 0, nil) // want `Transport.Send error discarded by go statement`
+	defer tr.EndRound(0)  // want `Transport.EndRound error discarded by defer`
+}
+
+func good(tr *Transport, e *Engine) error {
+	if err := tr.Send(0, 1, nil); err != nil {
+		return err
+	}
+	tr.EndRound(0) //flash:ignore-err round already aborted, EndRound error duplicates it
+	//flash:ignore-err draining a closed transport cannot fail
+	_ = tr.Drain(0, nil)
+	_, err := e.Run(nil)
+	return err
+}
+
+// NotATransport shares a method name but not the fault-surface shape: its
+// Send returns nothing, so there is no error to drop.
+type NotATransport struct{}
+
+func (n *NotATransport) Send(x int) {}
+
+// Sender is a differently-named type with an error-returning Send; commerr
+// matches the runtime's transport type names only, so this stays silent.
+type Sender struct{}
+
+func (s *Sender) Send(from, to int, data []byte) error { return nil }
+
+func others(n *NotATransport, s *Sender) {
+	n.Send(1)         // no diagnostic: no error result
+	s.Send(0, 1, nil) // no diagnostic: not a guarded receiver type
+}

@@ -1,0 +1,43 @@
+// Fixture for the detorder analyzer: no map iteration in (or reachable
+// from) //flash:deterministic frame-encode / ship-order code.
+package detorder
+
+type VID uint32
+
+func appendRecord(dst []byte, v VID, s int) []byte { return dst }
+func routingTable() map[int]bool                   { return nil }
+
+//flash:deterministic
+func encodeStates(states map[VID]int, dst []byte) []byte {
+	for v, s := range states { // want `map iteration in encodeStates`
+		dst = appendRecord(dst, v, s)
+	}
+	return shipAll(dst)
+}
+
+// shipAll is not itself annotated, but it is reachable from encodeStates.
+func shipAll(dst []byte) []byte {
+	order := routingTable()
+	for to := range order { // want `map iteration in shipAll`
+		_ = to
+	}
+	return dst
+}
+
+// helperUnreached is never called from a deterministic root, so its map
+// iteration is fine.
+func helperUnreached(m map[int]int) int {
+	t := 0
+	for _, v := range m { // no diagnostic: unreachable from any root
+		t += v
+	}
+	return t
+}
+
+//flash:deterministic
+func encodeSorted(keys []VID, dst []byte) []byte {
+	for _, k := range keys { // no diagnostic: slice iteration is ordered
+		dst = appendRecord(dst, k, 0)
+	}
+	return dst
+}

@@ -1,0 +1,13 @@
+// Test files are never analyzed: map-keyed subtest tables are idiomatic and
+// harmless there. The fixture runner skips _test.go, mirroring the real
+// loader, so the map range below must produce no diagnostic.
+package detorder
+
+func tableDriven() int {
+	cases := map[string]int{"a": 1, "b": 2}
+	t := 0
+	for _, v := range cases {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+// Fixture for the poolescape analyzer: a Drain handler's frame argument is
+// recycled into the pool when the handler returns, so every retained alias
+// is a use-after-recycle.
+package poolescape
+
+type Transport struct{}
+
+func (t *Transport) Drain(to int, h func(from int, data []byte)) error { return nil }
+
+func consume(b []byte)  {}
+func decode(b []byte)   {}
+func keep(b []byte)     {}
+
+var stash [][]byte
+var sink []byte
+var frames = make(chan []byte, 4)
+
+type holder struct{ buf []byte }
+
+func bad(tr *Transport, h *holder) {
+	var local []byte
+	err := tr.Drain(0, func(from int, data []byte) {
+		sink = data                 // want `stored in sink`
+		stash = append(stash, data) // want `stored in stash`
+		frames <- data              // want `channel send`
+		d := data[4:]
+		local = d      // want `stored in local`
+		h.buf = data   // want `stored through h.buf`
+		go consume(data) // want `handed to a goroutine`
+		defer keep(data) // want `captured by defer`
+	})
+	_ = err
+	_ = local
+}
+
+func leakClosure(tr *Transport) func() []byte {
+	var f func() []byte
+	err := tr.Drain(0, func(from int, data []byte) {
+		f = func() []byte {
+			return data // want `escapes its Drain handler via return`
+		}
+	})
+	_ = err
+	return f
+}
+
+func good(tr *Transport) int {
+	total := 0
+	err := tr.Drain(0, func(from int, data []byte) {
+		cp := append([]byte(nil), data...) // no diagnostic: copies the bytes out
+		keep(cp)
+		total += len(data) // no diagnostic: scalar derived from the frame
+		decode(data)       // no diagnostic: synchronous use inside the handler
+		head := data[:2]
+		decode(head) // no diagnostic: alias used synchronously
+	})
+	_ = err
+	return total
+}

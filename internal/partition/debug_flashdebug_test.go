@@ -1,0 +1,32 @@
+//go:build flashdebug
+
+package partition
+
+import (
+	"testing"
+
+	"flash/graph"
+	"flash/internal/bitset"
+)
+
+// TestSlotAssertsResidency verifies the flashdebug residency assertion:
+// Slot on a non-resident vertex must panic instead of silently aliasing
+// another slot.
+func TestSlotAssertsResidency(t *testing.T) {
+	const n, workers = 64, 4
+	place := NewRange(n, workers)
+	mirrors := bitset.New(n)
+	mirrors.Set(40) // one mirror owned by another worker
+	st := NewSlotTable(place, 0, mirrors)
+
+	if got := st.Slot(graph.VID(40)); got != st.MasterCount() {
+		t.Fatalf("mirror slot = %d, want %d", got, st.MasterCount())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Slot on a non-resident vertex did not panic under flashdebug")
+		}
+	}()
+	st.Slot(graph.VID(50)) // owned by worker 3, not mirrored here
+}

@@ -1,0 +1,25 @@
+//go:build flashdebug
+
+package partition
+
+import (
+	"fmt"
+
+	"flash/graph"
+)
+
+// DebugAssertions reports whether this binary was built with the flashdebug
+// tag (runtime invariant assertions enabled).
+const DebugAssertions = true
+
+// assertResident panics when v has no slot on this worker. Slot's contract
+// says "v must be resident"; in release builds a violation silently aliases
+// another vertex's slot, which is exactly the bug class this assertion makes
+// loud. Lookup is the sanctioned path when residency is uncertain.
+func (s *SlotTable) assertResident(v graph.VID) {
+	if _, ok := s.Lookup(v); !ok {
+		panic(fmt.Sprintf(
+			"partition: Slot(%d) on worker %d: vertex is not resident (not a local master or mirror); use Lookup",
+			v, s.worker))
+	}
+}

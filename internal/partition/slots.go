@@ -118,6 +118,7 @@ func (s *SlotTable) MirrorCount() int { return s.nmirrors }
 // meaningless as reading a never-synced global-id entry was in the old
 // layout. Use Lookup where residency is not guaranteed.
 func (s *SlotTable) Slot(v graph.VID) int {
+	s.assertResident(v) // no-op unless built with -tags flashdebug
 	switch s.kind {
 	case kindRange:
 		if iv := int(v); iv >= s.mlo && iv < s.mhi {
