@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -62,20 +63,36 @@ type MemStat struct {
 	SavingsPct          float64 `json:"savings_pct"`
 }
 
+// RecoveryStat is one worker-loss entry in BENCH_flash.json: a BFS run on
+// the fixed graph during which one worker is hard-killed mid-run, with
+// checkpoints going to a durable file store. It reports the recovery cost
+// (time spent inside rollback/restart/replay), the checkpoint write volume,
+// and the faulted wall time next to the fault-free one.
+type RecoveryStat struct {
+	FaultFreeNs     int64  `json:"fault_free_ns"`
+	FaultedNs       int64  `json:"faulted_ns"`
+	TimeToRecoverNs int64  `json:"time_to_recover_ns"`
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
+	Checkpoints     uint64 `json:"checkpoints"`
+	Restarts        uint64 `json:"restarts"`
+	Recoveries      uint64 `json:"recoveries"`
+}
+
 // PerfSuite is the full BENCH_flash.json document.
 type PerfSuite struct {
-	Schema     string               `json:"schema"`
-	Graph      string               `json:"graph"`
-	Vertices   int                  `json:"vertices"`
-	Edges      int                  `json:"edges"`
-	GraphXL    string               `json:"graph_xl,omitempty"`
-	VerticesXL int                  `json:"vertices_xl,omitempty"`
-	EdgesXL    int                  `json:"edges_xl,omitempty"`
-	GoMaxProcs int                  `json:"go_maxprocs"`
-	Reps       int                  `json:"reps"`
-	Micro      map[string]MicroStat `json:"micro"`
-	Mem        map[string]MemStat   `json:"mem,omitempty"`
-	Suite      []PerfCell           `json:"suite"`
+	Schema     string                  `json:"schema"`
+	Graph      string                  `json:"graph"`
+	Vertices   int                     `json:"vertices"`
+	Edges      int                     `json:"edges"`
+	GraphXL    string                  `json:"graph_xl,omitempty"`
+	VerticesXL int                     `json:"vertices_xl,omitempty"`
+	EdgesXL    int                     `json:"edges_xl,omitempty"`
+	GoMaxProcs int                     `json:"go_maxprocs"`
+	Reps       int                     `json:"reps"`
+	Micro      map[string]MicroStat    `json:"micro"`
+	Mem        map[string]MemStat      `json:"mem,omitempty"`
+	Recovery   map[string]RecoveryStat `json:"recovery,omitempty"`
+	Suite      []PerfCell              `json:"suite"`
 }
 
 // MicroSparse benchmarks one sparse (push-mode) EdgeMap superstep on the OR
@@ -184,6 +201,59 @@ func legacyStateBytes(n, workers, threads int, vsz uint64) uint64 {
 	return total
 }
 
+// MeasureRecovery runs the worker-loss scenario on the fixed graph: a
+// fault-free BFS for the baseline wall time, then the same BFS with worker 3
+// hard-killed at round 3, checkpointing every 2 supersteps to a file store in
+// a throwaway directory. The run must finish (the kill is survivable), and
+// the collector's recovery counters populate the stat.
+func MeasureRecovery(transport string) (RecoveryStat, error) {
+	g := graph.GenRMAT(4096, 4096*12, 101)
+	base := []flash.Option{flash.WithWorkers(4)}
+	if transport == "tcp" {
+		base = append(base, flash.WithTCP())
+	}
+	start := time.Now()
+	if _, err := algo.BFS(g, 0, base...); err != nil {
+		return RecoveryStat{}, err
+	}
+	faultFree := time.Since(start)
+	dir, err := os.MkdirTemp("", "flash-recovery-")
+	if err != nil {
+		return RecoveryStat{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := flash.NewFileCheckpointStore(filepath.Join(dir, "ckpt.flash"))
+	if err != nil {
+		return RecoveryStat{}, err
+	}
+	col := metrics.New()
+	opts := append(append([]flash.Option{}, base...),
+		flash.WithCollector(col),
+		flash.WithCheckpointEvery(2),
+		flash.WithCheckpointStore(store),
+		flash.WithMaxRecoveries(6),
+		flash.WithHeartbeatEvery(10*time.Millisecond),
+		flash.WithDrainTimeout(150*time.Millisecond),
+		flash.WithFaultPlan(flash.FaultPlan{
+			Kills: []flash.WorkerKill{{Worker: 3, Round: 3}},
+		}),
+	)
+	start = time.Now()
+	if _, err := algo.BFS(g, 0, opts...); err != nil {
+		return RecoveryStat{}, fmt.Errorf("faulted run: %w", err)
+	}
+	faulted := time.Since(start)
+	return RecoveryStat{
+		FaultFreeNs:     faultFree.Nanoseconds(),
+		FaultedNs:       faulted.Nanoseconds(),
+		TimeToRecoverNs: col.RecoveryTime.Nanoseconds(),
+		CheckpointBytes: col.CheckpointBytes,
+		Checkpoints:     col.Checkpoints,
+		Restarts:        col.Restarts,
+		Recoveries:      col.Recoveries,
+	}, nil
+}
+
 // perfAlgo is one algorithm of the fixed grid. run executes a full job with
 // the supplied engine options and must do all work before returning.
 type perfAlgo struct {
@@ -218,6 +288,7 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 		Reps:       reps,
 		Micro:      map[string]MicroStat{},
 		Mem:        map[string]MemStat{},
+		Recovery:   map[string]RecoveryStat{},
 	}
 	for _, c := range []struct{ w, t int }{{1, 1}, {4, 1}, {4, 4}} {
 		r := MicroSparse(c.w, c.t)
@@ -231,6 +302,13 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 			return nil, fmt.Errorf("state memory w%dt%d: %w", c.w, c.t, err)
 		}
 		s.Mem[fmt.Sprintf("state_w%dt%d", c.w, c.t)] = m
+	}
+	for _, transport := range []string{"mem", "tcp"} {
+		r, err := MeasureRecovery(transport)
+		if err != nil {
+			return nil, fmt.Errorf("recovery %s: %w", transport, err)
+		}
+		s.Recovery[fmt.Sprintf("bfs_kill_%s_w4", transport)] = r
 	}
 	for _, a := range fixedAlgos(g, weighted) {
 		for _, transport := range []string{"mem", "tcp"} {
@@ -364,6 +442,17 @@ func PrintPerf(w io.Writer, s *PerfSuite) {
 		m := s.Mem[k]
 		fmt.Fprintf(w, "%-28s %12d B state %8.2f B/vertex %8.1f%% saved vs legacy %d B\n",
 			k, m.StateBytes, m.StateBytesPerVertex, m.SavingsPct, m.LegacyBytes)
+	}
+	recKeys := make([]string, 0, len(s.Recovery))
+	for k := range s.Recovery {
+		recKeys = append(recKeys, k)
+	}
+	sort.Strings(recKeys)
+	for _, k := range recKeys {
+		r := s.Recovery[k]
+		fmt.Fprintf(w, "%-28s recover %10.2fms (run %7.1fms vs %7.1fms fault-free) %8d ckpt B %d restarts\n",
+			k, float64(r.TimeToRecoverNs)/1e6, float64(r.FaultedNs)/1e6,
+			float64(r.FaultFreeNs)/1e6, r.CheckpointBytes, r.Restarts)
 	}
 	for _, c := range s.Suite {
 		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",

@@ -6,7 +6,9 @@
 package flash_test
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -99,6 +101,146 @@ func TestChaosBFSAndCCMatchFaultFree(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// lossOpts arms worker-loss survival: a durable file-backed checkpoint store,
+// heartbeats feeding the liveness layer, a short drain deadline so a dead
+// peer is detected quickly, and one scripted hard kill of the last worker.
+func lossOpts(t *testing.T, w int, col *metrics.Collector, tcp bool) []flash.Option {
+	t.Helper()
+	store, err := flash.NewFileCheckpointStore(filepath.Join(t.TempDir(), "ckpt.flash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []flash.Option{
+		flash.WithWorkers(w),
+		flash.WithCollector(col),
+		flash.WithCheckpointEvery(2),
+		flash.WithCheckpointStore(store),
+		flash.WithMaxRecoveries(6),
+		flash.WithHeartbeatEvery(10 * time.Millisecond),
+		flash.WithDrainTimeout(150 * time.Millisecond),
+		flash.WithFaultPlan(flash.FaultPlan{
+			Kills: []flash.WorkerKill{{Worker: w - 1, Round: 3}},
+		}),
+	}
+	if tcp {
+		opts = append(opts, flash.WithTCP())
+	}
+	return opts
+}
+
+// TestChaosWorkerLossColdRestart is the worker-loss acceptance scenario on
+// the full public stack: a worker is hard-killed mid-run (every transport
+// call of its fails permanently), the survivors' liveness deadline names it
+// dead, the engine cold-restarts it from the graph and the file-backed
+// checkpoint store, and BFS/CC/PageRank finish byte-identical to fault-free
+// runs — on both the in-memory and the loopback-TCP transport.
+func TestChaosWorkerLossColdRestart(t *testing.T) {
+	g := graph.GenErdosRenyi(200, 900, 5)
+	wantDis, err := algo.BFS(g, 0, flash.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC, err := algo.CC(g, flash.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR, err := algo.PageRank(g, 15, 0, flash.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			colBFS := metrics.New()
+			gotDis, err := algo.BFS(g, 0, lossOpts(t, 4, colBFS, tcp)...)
+			if err != nil {
+				t.Fatalf("bfs did not survive the kill: %v", err)
+			}
+			for v := range wantDis {
+				if gotDis[v] != wantDis[v] {
+					t.Fatalf("bfs dist[%d]=%d want %d", v, gotDis[v], wantDis[v])
+				}
+			}
+			if colBFS.Restarts == 0 {
+				t.Errorf("bfs: no cold restarts recorded (%v)", colBFS)
+			}
+			if colBFS.CheckpointBytes == 0 {
+				t.Errorf("bfs: no checkpoint bytes recorded despite a file store (%v)", colBFS)
+			}
+
+			colCC := metrics.New()
+			gotCC, err := algo.CC(g, lossOpts(t, 4, colCC, tcp)...)
+			if err != nil {
+				t.Fatalf("cc did not survive the kill: %v", err)
+			}
+			for v := range wantCC {
+				if gotCC[v] != wantCC[v] {
+					t.Fatalf("cc label[%d]=%d want %d", v, gotCC[v], wantCC[v])
+				}
+			}
+			if colCC.Restarts == 0 {
+				t.Errorf("cc: no cold restarts recorded (%v)", colCC)
+			}
+
+			// PageRank bounded to 2 workers so the float reduction order is
+			// deterministic and exact equality is the correct assertion.
+			colPR := metrics.New()
+			gotPR, err := algo.PageRank(g, 15, 0, lossOpts(t, 2, colPR, tcp)...)
+			if err != nil {
+				t.Fatalf("pagerank did not survive the kill: %v", err)
+			}
+			for v := range wantPR {
+				if gotPR[v] != wantPR[v] {
+					t.Fatalf("rank[%d]=%v want %v (not bit-identical)", v, gotPR[v], wantPR[v])
+				}
+			}
+			if colPR.Restarts == 0 {
+				t.Errorf("pagerank: no cold restarts recorded (%v)", colPR)
+			}
+		})
+	}
+}
+
+// TestStallConvertsToErrorBothTransports verifies the bounded-failure
+// guarantee: without checkpointing armed, a worker that stalls past the
+// superstep deadline turns into a typed ErrPeerStalled within a bounded
+// window on both transports — never a hang.
+func TestStallConvertsToErrorBothTransports(t *testing.T) {
+	g := graph.GenErdosRenyi(150, 600, 7)
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := []flash.Option{
+				flash.WithWorkers(2),
+				flash.WithDrainTimeout(100 * time.Millisecond),
+				flash.WithFaultPlan(flash.FaultPlan{
+					Stalls: []flash.WorkerStall{{Worker: 1, Round: 2, Delay: 700 * time.Millisecond}},
+				}),
+			}
+			if tcp {
+				opts = append(opts, flash.WithTCP())
+			}
+			start := time.Now()
+			_, err := algo.BFS(g, 0, opts...)
+			if err == nil {
+				t.Fatal("stall absorbed without checkpointing enabled")
+			}
+			if !errors.Is(err, flash.ErrPeerStalled) {
+				t.Fatalf("err=%v, want ErrPeerStalled", err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("failure took %v, want bounded detection", elapsed)
+			}
+		})
 	}
 }
 

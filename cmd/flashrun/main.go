@@ -42,12 +42,17 @@ func main() {
 		tcp      = flag.Bool("tcp", false, "use the loopback TCP transport")
 
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint all worker state every n supersteps (0 disables recovery)")
-		drainTimeout = flag.Duration("drain-timeout", 0, "per-round peer stall timeout (0 waits forever)")
+		ckptFile     = flag.String("ckpt-file", "", "durable checkpoint file (default: in-memory store)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "per-round peer stall timeout (0 selects the 30s default, negative waits forever)")
+		hbEvery      = flag.Duration("heartbeat-every", 0, "liveness heartbeat interval (0 disables heartbeats; required to classify a dead peer)")
+		maxRecover   = flag.Int("max-recoveries", 0, "rollback/restart budget (0 keeps the default)")
 		sendRetries  = flag.Int("send-retries", 0, "transient send retries (0 keeps the default of 4)")
 		chaos        = flag.Bool("chaos", false, "inject seeded transport faults (send failures, delays, reordering)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-injection seed")
 		failProb     = flag.Float64("send-fail-prob", 0.01, "chaos: per-frame transient send-failure probability")
 		delayProb    = flag.Float64("delay-prob", 0.05, "chaos: per-frame delay-to-end-of-round probability")
+		killWorker   = flag.Int("kill-worker", -1, "hard-kill this worker permanently mid-run (cold restart needs -checkpoint-every and -heartbeat-every)")
+		killRound    = flag.Int("kill-round", 3, "transport round at which -kill-worker dies")
 	)
 	flag.Parse()
 
@@ -70,19 +75,40 @@ func main() {
 	if *ckptEvery > 0 {
 		opts = append(opts, flash.WithCheckpointEvery(*ckptEvery))
 	}
-	if *drainTimeout > 0 {
+	if *ckptFile != "" {
+		store, err := flash.NewFileCheckpointStore(*ckptFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashrun:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, flash.WithCheckpointStore(store))
+	}
+	if *drainTimeout != 0 {
 		opts = append(opts, flash.WithDrainTimeout(*drainTimeout))
+	}
+	if *hbEvery > 0 {
+		opts = append(opts, flash.WithHeartbeatEvery(*hbEvery))
+	}
+	if *maxRecover > 0 {
+		opts = append(opts, flash.WithMaxRecoveries(*maxRecover))
 	}
 	if *sendRetries != 0 {
 		opts = append(opts, flash.WithSendRetries(*sendRetries))
 	}
+	plan := flash.FaultPlan{Seed: *chaosSeed}
+	usePlan := false
 	if *chaos {
-		opts = append(opts, flash.WithFaultPlan(flash.FaultPlan{
-			Seed:         *chaosSeed,
-			SendFailProb: *failProb,
-			DelayProb:    *delayProb,
-			Reorder:      true,
-		}))
+		plan.SendFailProb = *failProb
+		plan.DelayProb = *delayProb
+		plan.Reorder = true
+		usePlan = true
+	}
+	if *killWorker >= 0 {
+		plan.Kills = []flash.WorkerKill{{Worker: *killWorker, Round: uint32(*killRound)}}
+		usePlan = true
+	}
+	if usePlan {
+		opts = append(opts, flash.WithFaultPlan(plan))
 	}
 
 	start := time.Now()

@@ -129,6 +129,47 @@ type WorkerStall = comm.WorkerStall
 // WorkerCrash scripts a mid-superstep worker failure in a FaultPlan.
 type WorkerCrash = comm.WorkerCrash
 
+// WorkerKill scripts the permanent death of a worker in a FaultPlan: its
+// transport endpoint is torn down for real and every call it makes fails
+// until the engine cold-restarts it from a checkpoint.
+type WorkerKill = comm.WorkerKill
+
+// FrameCorrupt scripts a single-bit payload flip on one edge in a FaultPlan,
+// exercising the receive-side frame-integrity path.
+type FrameCorrupt = comm.FrameCorrupt
+
+// CheckpointStore persists engine checkpoint images; see WithCheckpointStore.
+type CheckpointStore = core.CheckpointStore
+
+// CheckpointImage is one encoded engine snapshot as handed to a
+// CheckpointStore.
+type CheckpointImage = core.CheckpointImage
+
+// Liveness and integrity errors surfaced by failed runs (match with
+// errors.Is).
+var (
+	// ErrPeerStalled: a peer missed the superstep deadline but its
+	// heartbeats are current (slow, not dead).
+	ErrPeerStalled = comm.ErrPeerStalled
+	// ErrPeerDead: a peer missed the superstep deadline and its heartbeats
+	// have stopped — the liveness layer declared it permanently lost.
+	ErrPeerDead = comm.ErrPeerDead
+	// ErrCorrupt: a frame failed its integrity check (CRC mismatch or
+	// undecodable payload).
+	ErrCorrupt = comm.ErrCorrupt
+)
+
+// NewMemCheckpointStore returns the default in-memory checkpoint store.
+func NewMemCheckpointStore() CheckpointStore { return core.NewMemStore() }
+
+// NewFileCheckpointStore returns a durable file-backed checkpoint store at
+// path: versioned format, per-section CRC32-C, atomic write-then-rename.
+// Checkpoints survive the loss of all in-process worker state, so a
+// hard-killed worker can be cold-restarted from the file.
+func NewFileCheckpointStore(path string) (CheckpointStore, error) {
+	return core.NewFileStore(path)
+}
+
 // RunResult summarizes a Run: supersteps executed plus the fault-tolerance
 // counters (checkpoints taken, recoveries performed, sends retried,
 // connections re-established).
@@ -141,9 +182,27 @@ type RunResult = core.RunResult
 func WithCheckpointEvery(n int) Option { return func(c *core.Config) { c.CheckpointEvery = n } }
 
 // WithDrainTimeout bounds how long a worker waits for a peer's next frame
-// within one exchange round before the superstep fails (stall detection).
-// 0 (the default) waits forever.
+// within one exchange round before the superstep fails (stall detection,
+// upgraded to ErrPeerDead when the peer's heartbeats have also stopped).
+// 0 (the default) selects core.DefaultDrainTimeout (30s); negative waits
+// forever.
 func WithDrainTimeout(d time.Duration) Option { return func(c *core.Config) { c.DrainTimeout = d } }
+
+// WithHeartbeatEvery runs a background heartbeater per worker at the given
+// interval, feeding the transports' liveness clocks so a dead worker is
+// classified as ErrPeerDead (triggering cold restart under checkpointing)
+// rather than a generic stall. 0 (the default) disables heartbeats.
+func WithHeartbeatEvery(d time.Duration) Option {
+	return func(c *core.Config) { c.HeartbeatEvery = d }
+}
+
+// WithCheckpointStore directs checkpoint images into store — pass
+// NewFileCheckpointStore for durability across permanent worker loss. The
+// default (with WithCheckpointEvery) is an in-memory store. The engine never
+// closes the store.
+func WithCheckpointStore(store CheckpointStore) Option {
+	return func(c *core.Config) { c.Store = store }
+}
 
 // WithMaxRecoveries bounds checkpoint rollbacks per engine (default 3), so a
 // persistent fault cannot loop forever.

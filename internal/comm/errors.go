@@ -31,6 +31,19 @@ var (
 	// ErrTruncated reports a connection torn down in the middle of a frame
 	// (as opposed to a clean close at a frame boundary).
 	ErrTruncated = errors.New("comm: connection closed mid-frame")
+
+	// ErrPeerDead is the liveness watchdog's verdict: a peer missed both its
+	// end-of-round marker and its heartbeat window, so it is presumed
+	// permanently lost (as opposed to ErrPeerStalled, where the peer's
+	// heartbeats still arrive). Delivered wrapped in a WorkerError naming the
+	// dead peer, it is the engine's signal to cold-restart that worker from
+	// the durable checkpoint store.
+	ErrPeerDead = errors.New("comm: peer dead (no heartbeat within liveness window)")
+
+	// ErrCorrupt reports a frame that failed an integrity check: a CRC
+	// mismatch on the TCP wire, or a payload that no longer decodes (injected
+	// bit flips, torn writes). Corruption is a round failure, never a panic.
+	ErrCorrupt = errors.New("comm: corrupt frame")
 )
 
 // TransientError wraps a failure that is worth retrying with backoff.
@@ -70,4 +83,31 @@ type CrashError struct{ Worker int }
 
 func (e *CrashError) Error() string {
 	return fmt.Sprintf("comm: injected crash of worker %d", e.Worker)
+}
+
+// KillError is returned to a hard-killed worker's own transport calls: after
+// a KillWorker fault fires, the victim is permanently dead — its mailbox is
+// poisoned and every Send/EndRound/Drain/Heartbeat it attempts fails with
+// this error until the transport is Revived. Unlike CrashError it models a
+// process loss, not a transient hiccup: the worker's in-memory state is gone
+// and only a cold restart from a durable checkpoint brings it back.
+type KillError struct{ Worker int }
+
+func (e *KillError) Error() string {
+	return fmt.Sprintf("comm: worker %d killed (permanent loss)", e.Worker)
+}
+
+// EndpointCloser is implemented by transports that can tear down one
+// worker's receive endpoint for real (hard-kill support): pending and future
+// receives on that worker fail with err until the next Reset re-registers
+// the mailbox.
+type EndpointCloser interface {
+	CloseEndpoint(w int, err error)
+}
+
+// Reviver is implemented by transports (the Faulty wrapper) that can clear a
+// worker's killed state so a cold-restarted incarnation may use the
+// transport again.
+type Reviver interface {
+	Revive(w int)
 }

@@ -39,6 +39,21 @@ type FaultPlan struct {
 	// Crashes makes a worker's EndRound (or Send) of the given round fail
 	// with CrashError, simulating a mid-superstep worker failure.
 	Crashes []WorkerCrash
+	// Kills hard-kills a worker at its first transport operation (Send,
+	// EndRound or Heartbeat) at or after the given round: its receive
+	// endpoint is closed for real and every transport call it makes fails
+	// with KillError until Revive. Unlike Crashes, the death is permanent —
+	// the engine must detect the loss through the liveness layer and
+	// cold-restart the worker from a durable checkpoint.
+	Kills []WorkerKill
+	// Corrupts scripts single-bit payload flips (seeded position) on the
+	// given edge, exercising the receive-side integrity/decode hardening.
+	Corrupts []FrameCorrupt
+	// CorruptProb is the per-frame probability that a cross-worker payload
+	// gets one seeded bit flip before delivery.
+	CorruptProb float64
+	// MaxCorrupts caps the probabilistic corruptions (0 = unlimited).
+	MaxCorrupts int
 }
 
 // ConnDrop scripts a transient drop of the From→To direction starting at the
@@ -63,6 +78,22 @@ type WorkerCrash struct {
 	Round  uint32
 }
 
+// WorkerKill scripts the permanent death of worker Worker at its first
+// transport operation at or after round Round (rounds are counted on the
+// current incarnation: Reset restarts the counter, so a Kill scripted after
+// a recovery fires against the replayed rounds).
+type WorkerKill struct {
+	Worker int
+	Round  uint32
+}
+
+// FrameCorrupt scripts one single-bit flip in the next cross-worker payload
+// on the From→To edge at or after the sender's round Round.
+type FrameCorrupt struct {
+	From, To int
+	Round    uint32
+}
+
 // FaultCounts reports how many faults a Faulty transport has injected.
 type FaultCounts struct {
 	SendFails int
@@ -70,6 +101,8 @@ type FaultCounts struct {
 	Drops     int
 	Stalls    int
 	Crashes   int
+	Kills     int
+	Corrupts  int
 }
 
 // Faulty wraps any Transport and injects the faults of a FaultPlan. It is
@@ -80,14 +113,17 @@ type Faulty struct {
 	inner Transport
 	plan  FaultPlan
 
-	mu      sync.Mutex
-	rng     []*rand.Rand
-	round   []uint32      // per-sender round counter, mirrors inner's rounds
-	held    [][]heldFrame // per-sender frames delayed to EndRound
-	drops   []ConnDrop
-	stalls  []WorkerStall
-	crashes []WorkerCrash
-	counts  FaultCounts
+	mu       sync.Mutex
+	rng      []*rand.Rand
+	round    []uint32      // per-sender round counter, mirrors inner's rounds
+	held     [][]heldFrame // per-sender frames delayed to EndRound
+	drops    []ConnDrop
+	stalls   []WorkerStall
+	crashes  []WorkerCrash
+	kills    []WorkerKill
+	corrupts []FrameCorrupt
+	killed   []bool // permanent death flags; survive Reset, cleared by Revive
+	counts   FaultCounts
 }
 
 // heldFrame is a delayed frame awaiting delivery at its sender's EndRound.
@@ -117,6 +153,9 @@ func NewFaulty(inner Transport, plan FaultPlan) *Faulty {
 	}
 	f.stalls = append([]WorkerStall(nil), plan.Stalls...)
 	f.crashes = append([]WorkerCrash(nil), plan.Crashes...)
+	f.kills = append([]WorkerKill(nil), plan.Kills...)
+	f.corrupts = append([]FrameCorrupt(nil), plan.Corrupts...)
+	f.killed = make([]bool, m)
 	return f
 }
 
@@ -141,12 +180,64 @@ func (f *Faulty) crashLocked(from int, r uint32) error {
 	return nil
 }
 
-func (f *Faulty) Send(from, to int, data []byte) error {
-	if from == to {
-		return f.inner.Send(from, to, data)
+// killLocked enforces permanent deaths: a dead worker's transport calls fail
+// with KillError, and a pending scripted kill for (from, round>=Round) fires
+// here — tearing the victim's receive endpoint down for real when the inner
+// transport supports it, so the victim's mailbox state is genuinely gone.
+func (f *Faulty) killLocked(from int, r uint32) error {
+	if f.killed[from] {
+		return &KillError{Worker: from}
 	}
+	for i, k := range f.kills {
+		if k.Worker == from && r >= k.Round {
+			f.kills = append(f.kills[:i], f.kills[i+1:]...)
+			f.killed[from] = true
+			f.counts.Kills++
+			if ec, ok := f.inner.(EndpointCloser); ok {
+				ec.CloseEndpoint(from, &KillError{Worker: from})
+			}
+			return &KillError{Worker: from}
+		}
+	}
+	return nil
+}
+
+// corruptLocked applies a scripted or probabilistic single-bit flip to data.
+func (f *Faulty) corruptLocked(from, to int, r uint32, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	hit := false
+	for i, c := range f.corrupts {
+		if c.From == from && c.To == to && r >= c.Round {
+			f.corrupts = append(f.corrupts[:i], f.corrupts[i+1:]...)
+			hit = true
+			break
+		}
+	}
+	if !hit && f.plan.CorruptProb > 0 &&
+		(f.plan.MaxCorrupts == 0 || f.counts.Corrupts < f.plan.MaxCorrupts) {
+		hit = f.rng[from].Float64() < f.plan.CorruptProb
+	}
+	if !hit {
+		return
+	}
+	rng := f.rng[from]
+	data[rng.Intn(len(data))] ^= 1 << rng.Intn(8)
+	f.counts.Corrupts++
+}
+
+func (f *Faulty) Send(from, to int, data []byte) error {
 	f.mu.Lock()
 	r := f.round[from]
+	if err := f.killLocked(from, r); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if from == to {
+		f.mu.Unlock()
+		return f.inner.Send(from, to, data)
+	}
 	if err := f.crashLocked(from, r); err != nil {
 		f.mu.Unlock()
 		return err
@@ -167,6 +258,7 @@ func (f *Faulty) Send(from, to int, data []byte) error {
 		f.mu.Unlock()
 		return Transient(ErrConnDropped)
 	}
+	f.corruptLocked(from, to, r, data)
 	if p := f.plan.DelayProb; p > 0 && rng.Float64() < p {
 		f.counts.Delays++
 		f.held[from] = append(f.held[from], heldFrame{to: to, data: data})
@@ -180,6 +272,10 @@ func (f *Faulty) Send(from, to int, data []byte) error {
 func (f *Faulty) EndRound(from int) error {
 	f.mu.Lock()
 	r := f.round[from]
+	if err := f.killLocked(from, r); err != nil {
+		f.mu.Unlock()
+		return err
+	}
 	if err := f.crashLocked(from, r); err != nil {
 		f.mu.Unlock()
 		return err
@@ -215,6 +311,29 @@ func (f *Faulty) EndRound(from int) error {
 
 func (f *Faulty) Drain(to int, h func(from int, data []byte)) error {
 	return f.inner.Drain(to, h)
+}
+
+// Heartbeat intercepts the liveness path: a dead worker's heartbeats stop
+// (its heartbeater sees KillError and exits), which is exactly the signal
+// peers' drain classification turns into ErrPeerDead. A scripted kill can
+// also fire here, so a worker idling between supersteps still dies on time.
+func (f *Faulty) Heartbeat(from int) error {
+	f.mu.Lock()
+	if err := f.killLocked(from, f.round[from]); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
+	return f.inner.Heartbeat(from)
+}
+
+// Revive clears worker w's killed flag so a cold-restarted incarnation can
+// use the transport again (the poisoned mailbox is cleared by the Reset that
+// follows restart).
+func (f *Faulty) Revive(w int) {
+	f.mu.Lock()
+	f.killed[w] = false
+	f.mu.Unlock()
 }
 
 func (f *Faulty) Abort(err error) { f.inner.Abort(err) }

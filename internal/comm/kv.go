@@ -109,13 +109,13 @@ func DecodeKV[V any](c Codec[V], data []byte, apply func(vid uint32, v *V)) erro
 	for off < len(data) {
 		vid, k, err := ReadVIDDelta(data[off:], prev)
 		if err != nil {
-			return fmt.Errorf("comm: corrupt kv frame vid at offset %d: %w", off, err)
+			return fmt.Errorf("%w: kv frame vid at offset %d: %v", ErrCorrupt, off, err)
 		}
 		prev = vid
 		off += k
 		n, err := c.Decode(data[off:], &val)
 		if err != nil {
-			return fmt.Errorf("comm: corrupt kv frame value at offset %d: %w", off, err)
+			return fmt.Errorf("%w: kv frame value at offset %d: %v", ErrCorrupt, off, err)
 		}
 		off += n
 		apply(vid, &val)

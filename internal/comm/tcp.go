@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -28,14 +29,34 @@ const (
 // tcpDial is swapped by tests to inject dial failures.
 var tcpDial = net.Dial
 
+// castagnoli is the CRC32-C table used for frame integrity (same polynomial
+// iSCSI and ext4 use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// TCP wire frame flags.
+const (
+	tcpFlagData      = 0 // data frame: payload follows
+	tcpFlagEndRound  = 1 // end-of-round marker (no payload)
+	tcpFlagHeartbeat = 2 // liveness control frame (no payload, no round)
+)
+
+// tcpHdrSize is the frame header length:
+// round u32 | epoch u32 | flag u8 | length u32 | crc32c u32.
+// The CRC covers the first 13 header bytes plus the payload, so a corrupted
+// length, flag, round, epoch or body all surface as ErrCorrupt instead of a
+// misparse.
+const tcpHdrSize = 17
+
 // TCP is a loopback-socket transport: every worker pair is connected with a
 // real TCP connection and frames are length-prefixed on the wire. It is the
 // closest in-process analog of the paper's MPI runtime and exists to make
 // the serialization and network path genuine; the Mem transport is the
 // default for benchmarks.
 //
-// Wire format per frame: round uint32 | flag byte (0 data, 1 end-of-round) |
-// length uint32 | payload. The sender id is implicit per connection.
+// Wire format per frame: round uint32 | epoch uint32 | flag byte (0 data,
+// 1 end-of-round, 2 heartbeat) | length uint32 | crc32c uint32 | payload.
+// The sender id is implicit per connection; the CRC32-C spans the first 13
+// header bytes and the payload.
 //
 // Robustness: transient write failures are retried with capped exponential
 // backoff, and a dropped connection is redialed (the peer's accept loop
@@ -69,24 +90,28 @@ type tcpConn struct {
 	hello [4]byte
 }
 
-func (tc *tcpConn) writeFrame(round uint32, flag byte, data []byte) error {
+func (tc *tcpConn) writeFrame(round, epoch uint32, flag byte, data []byte) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if tc.c == nil {
 		return ErrConnDropped
 	}
-	var hdr [9]byte
+	var hdr [tcpHdrSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], round)
-	hdr[4] = flag
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], epoch)
+	hdr[8] = flag
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(data)))
+	crc := crc32.Checksum(hdr[:13], castagnoli)
+	crc = crc32.Update(crc, castagnoli, data)
+	binary.LittleEndian.PutUint32(hdr[13:17], crc)
 	if _, err := tc.w.Write(hdr[:]); err != nil {
 		return err
 	}
 	if _, err := tc.w.Write(data); err != nil {
 		return err
 	}
-	if flag == 1 {
-		return tc.w.Flush() // round boundaries always flush
+	if flag != tcpFlagData {
+		return tc.w.Flush() // round boundaries and heartbeats always flush
 	}
 	return nil
 }
@@ -234,15 +259,17 @@ func (t *TCP) Err() <-chan error { return t.errs }
 
 func (t *TCP) readLoop(me, peer int, c net.Conn) {
 	r := bufio.NewReaderSize(c, 1<<16)
-	var hdr [9]byte
+	var hdr [tcpHdrSize]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			t.readClosed(me, peer, err, false)
 			return
 		}
 		round := binary.LittleEndian.Uint32(hdr[0:4])
-		flag := hdr[4]
-		n := binary.LittleEndian.Uint32(hdr[5:9])
+		epoch := binary.LittleEndian.Uint32(hdr[4:8])
+		flag := hdr[8]
+		n := binary.LittleEndian.Uint32(hdr[9:13])
+		wantCRC := binary.LittleEndian.Uint32(hdr[13:17])
 		if n > MaxFrameSize {
 			err := &WorkerError{Worker: peer, Err: fmt.Errorf("%w: %d bytes from worker %d", ErrFrameTooLarge, n, peer)}
 			t.report(err)
@@ -258,12 +285,30 @@ func (t *TCP) readLoop(me, peer int, c net.Conn) {
 				return
 			}
 		}
-		if flag == 1 {
+		crc := crc32.Checksum(hdr[:13], castagnoli)
+		crc = crc32.Update(crc, castagnoli, data)
+		if crc != wantCRC {
+			// Integrity failure: fail the receiver's round with a typed
+			// ErrCorrupt (checkpoint recovery replays it) and drop the
+			// connection — the sender's next write fails transiently and the
+			// retry path redials a clean socket.
+			PutBuf(data)
+			err := &WorkerError{Worker: peer, Err: fmt.Errorf("%w: crc mismatch on frame from worker %d (round %d)", ErrCorrupt, peer, round)}
+			t.report(err)
+			t.hub.boxes[me].poison(err)
+			c.Close()
+			return
+		}
+		if flag == tcpFlagHeartbeat {
+			t.hub.markAlive(peer)
+			continue
+		}
+		if flag == tcpFlagEndRound {
 			data = nil
 		} else if data == nil {
 			data = []byte{}
 		}
-		t.hub.boxes[me].push(frame{from: peer, round: round, data: data})
+		t.hub.boxes[me].push(frame{from: peer, round: round, epoch: epoch, data: data})
 	}
 }
 
@@ -298,10 +343,10 @@ func (t *TCP) Send(from, to int, data []byte) error {
 		if data == nil {
 			data = []byte{}
 		}
-		t.hub.boxes[to].push(frame{from: from, round: round, data: data})
+		t.hub.boxes[to].push(frame{from: from, round: round, epoch: t.hub.epoch.Load(), data: data})
 		return nil
 	}
-	return t.writeWithRetry(from, to, round, 0, data)
+	return t.writeWithRetry(from, to, round, tcpFlagData, data)
 }
 
 func (t *TCP) EndRound(from int) error {
@@ -311,16 +356,41 @@ func (t *TCP) EndRound(from int) error {
 			if err := t.hub.aborted(); err != nil {
 				return err
 			}
-			t.hub.boxes[to].push(frame{from: from, round: r, data: nil})
+			t.hub.boxes[to].push(frame{from: from, round: r, epoch: t.hub.epoch.Load(), data: nil})
 			continue
 		}
-		if err := t.writeWithRetry(from, to, r, 1, nil); err != nil {
+		if err := t.writeWithRetry(from, to, r, tcpFlagEndRound, nil); err != nil {
 			return err
 		}
 	}
 	t.hub.rounds[from].Store(r + 1)
 	return nil
 }
+
+// Heartbeat ships a flag-2 control frame to every peer (flushed immediately,
+// bypassing round batching); each peer's read loop stamps the shared liveness
+// clock. Write failures on individual connections are swallowed: a heartbeat
+// is best-effort by design and the next tick retries, while a genuinely dead
+// sender is stopped above this layer (Faulty returns KillError before the
+// wire is reached).
+func (t *TCP) Heartbeat(from int) error {
+	if err := t.hub.aborted(); err != nil {
+		return err
+	}
+	epoch := t.hub.epoch.Load()
+	for to := 0; to < t.m; to++ {
+		if to == from {
+			continue
+		}
+		if tc := t.conns[from][to]; tc != nil {
+			_ = tc.writeFrame(0, epoch, tcpFlagHeartbeat, nil)
+		}
+	}
+	return nil
+}
+
+// CloseEndpoint tears down worker w's receive endpoint (hard-kill support).
+func (t *TCP) CloseEndpoint(w int, err error) { t.hub.CloseEndpoint(w, err) }
 
 // writeWithRetry writes one frame, retrying transient failures with capped
 // exponential backoff and redialing the peer between attempts.
@@ -344,7 +414,7 @@ func (t *TCP) writeWithRetry(from, to int, round uint32, flag byte, data []byte)
 			}
 			t.reconnects.Add(1)
 		}
-		err = tc.writeFrame(round, flag, data)
+		err = tc.writeFrame(round, t.hub.epoch.Load(), flag, data)
 		if err == nil {
 			return nil
 		}

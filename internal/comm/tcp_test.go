@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"testing"
 	"time"
@@ -60,6 +61,20 @@ func hostileConn(t *testing.T, tr *TCP, me, peer int) net.Conn {
 	return c
 }
 
+// rawHeader builds a wire frame header with the CRC field covering only the
+// header prefix (valid for frames whose payload never arrives; the length
+// check fires before any payload is read, so hostile-length tests don't need
+// a matching body CRC).
+func rawHeader(round, epoch uint32, flag byte, length uint32) []byte {
+	hdr := make([]byte, tcpHdrSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], round)
+	binary.LittleEndian.PutUint32(hdr[4:8], epoch)
+	hdr[8] = flag
+	binary.LittleEndian.PutUint32(hdr[9:13], length)
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(hdr[:13], castagnoli))
+	return hdr
+}
+
 // TestTCPOversizedFramePrefix verifies a corrupt length prefix cannot drive
 // frame allocation past MaxFrameSize: the connection is rejected and the
 // receiver's next Drain reports it instead of the process OOMing or hanging.
@@ -71,11 +86,8 @@ func TestTCPOversizedFramePrefix(t *testing.T) {
 	defer tr.Close()
 	c := hostileConn(t, tr, 0, 1)
 	defer c.Close()
-	var hdr [9]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], 0)     // round
-	hdr[4] = 0                                     // data frame
-	binary.LittleEndian.PutUint32(hdr[5:9], 1<<31) // hostile length
-	if _, err := c.Write(hdr[:]); err != nil {
+	hdr := rawHeader(0, 0, tcpFlagData, 1<<31) // hostile length
+	if _, err := c.Write(hdr); err != nil {
 		t.Fatal(err)
 	}
 	tr.SetDrainTimeout(2 * time.Second)
@@ -103,11 +115,8 @@ func TestTCPMidFrameTruncation(t *testing.T) {
 	}
 	defer tr.Close()
 	c := hostileConn(t, tr, 0, 1)
-	var hdr [9]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], 0)
-	hdr[4] = 0
-	binary.LittleEndian.PutUint32(hdr[5:9], 100) // claim 100 bytes
-	if _, err := c.Write(hdr[:]); err != nil {
+	hdr := rawHeader(0, 0, tcpFlagData, 100) // claim 100 bytes
+	if _, err := c.Write(hdr); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Write(make([]byte, 10)); err != nil { // deliver only 10

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,19 @@ import (
 // backoff; everything else aborts the round. Abort unblocks every worker
 // stuck in a transport call; Reset restores the transport to a pristine
 // between-rounds state so a recovered run can replay from a checkpoint.
+//
+// Liveness: Heartbeat is an out-of-band control signal ("worker `from` is
+// alive right now") that never counts toward a round. Once a worker has
+// heartbeat at least once, a Drain that times out waiting for that worker's
+// end-of-round marker classifies it: heartbeats still arriving means the
+// peer is slow (ErrPeerStalled, retry-worthy); heartbeats silent beyond the
+// drain-timeout window means the peer is presumed lost and the drain fails
+// with a WorkerError wrapping ErrPeerDead naming it.
+//
+// Epochs: every frame is tagged with the transport's membership epoch, and
+// Reset bumps it. Frames from a pre-Reset incarnation that surface later
+// (wire buffers, a killed worker's stale sends) are silently discarded by
+// Drain instead of corrupting the replayed rounds.
 type Transport interface {
 	// Workers returns the number of workers m.
 	Workers() int
@@ -36,9 +50,14 @@ type Transport interface {
 	// are recycled into the frame pool (PutBuf) after h returns, so a Send
 	// caller must hold no references either — a buffer shipped to several
 	// destinations must be cloned per destination. Drain fails with
-	// ErrPeerStalled when no frame arrives within the drain timeout, and
-	// with the abort error after Abort.
+	// ErrPeerStalled when no frame arrives within the drain timeout (or a
+	// WorkerError wrapping ErrPeerDead when the missing peer's heartbeats
+	// have also gone silent), and with the abort error after Abort.
 	Drain(to int, h func(from int, data []byte)) error
+	// Heartbeat announces that worker `from` is alive, outside any round.
+	// Cheap enough to call on a tens-of-milliseconds ticker. Safe for
+	// concurrent use with the same worker's Send/EndRound/Drain.
+	Heartbeat(from int) error
 	// Abort poisons the transport with err: every blocked or future
 	// Send/EndRound/Drain returns it until Reset. Safe to call from any
 	// goroutine, repeatedly (the first error wins).
@@ -68,6 +87,7 @@ type Stats struct {
 type frame struct {
 	from  int
 	round uint32
+	epoch uint32 // membership epoch the frame was sent under
 	data  []byte // nil means end-of-round marker
 }
 
@@ -166,10 +186,19 @@ type Mem struct {
 	rounds []atomic.Uint32 // per-sender current round
 	recvRd []uint32        // per-receiver current round (single-threaded use)
 	stash  [][]frame       // per-receiver frames for future rounds
+	marks  [][]bool        // per-receiver scratch: marker seen per peer this round
 	frames atomic.Uint64
 	bytes  atomic.Uint64
 
-	timeout atomic.Int64 // drain stall timeout in nanoseconds; 0 = forever
+	timeout atomic.Int64  // drain stall timeout in nanoseconds; 0 = forever
+	epoch   atomic.Uint32 // membership epoch; bumped by Reset
+
+	// Liveness: alive[w] is the UnixNano of w's last heartbeat; hbOn[w]
+	// arms dead-vs-stalled classification for w once it has heartbeat at
+	// least once (so engines that never heartbeat keep the plain
+	// ErrPeerStalled behavior).
+	alive []atomic.Int64
+	hbOn  []atomic.Bool
 
 	abortMu  sync.Mutex
 	abortErr error
@@ -183,9 +212,13 @@ func NewMem(m int) *Mem {
 		rounds: make([]atomic.Uint32, m),
 		recvRd: make([]uint32, m),
 		stash:  make([][]frame, m),
+		marks:  make([][]bool, m),
+		alive:  make([]atomic.Int64, m),
+		hbOn:   make([]atomic.Bool, m),
 	}
 	for i := range t.boxes {
 		t.boxes[i] = newMailbox()
+		t.marks[i] = make([]bool, m)
 	}
 	return t
 }
@@ -207,7 +240,7 @@ func (t *Mem) Send(from, to int, data []byte) error {
 	}
 	t.frames.Add(1)
 	t.bytes.Add(uint64(len(data)))
-	t.boxes[to].push(frame{from: from, round: t.rounds[from].Load(), data: data})
+	t.boxes[to].push(frame{from: from, round: t.rounds[from].Load(), epoch: t.epoch.Load(), data: data})
 	return nil
 }
 
@@ -216,11 +249,44 @@ func (t *Mem) EndRound(from int) error {
 		return err
 	}
 	r := t.rounds[from].Load()
+	ep := t.epoch.Load()
 	for to := 0; to < t.m; to++ {
-		t.boxes[to].push(frame{from: from, round: r, data: nil})
+		t.boxes[to].push(frame{from: from, round: r, epoch: ep, data: nil})
 	}
 	t.rounds[from].Store(r + 1)
 	return nil
+}
+
+// Heartbeat stamps `from`'s liveness clock and arms dead-peer classification
+// for it. Out-of-band: no round or epoch interaction.
+func (t *Mem) Heartbeat(from int) error {
+	if err := t.aborted(); err != nil {
+		return err
+	}
+	t.markAlive(from)
+	return nil
+}
+
+func (t *Mem) markAlive(w int) {
+	t.alive[w].Store(time.Now().UnixNano())
+	t.hbOn[w].Store(true)
+}
+
+// classifyStall upgrades a drain timeout to ErrPeerDead when a peer whose
+// end-of-round marker is still missing has also been heartbeat-silent for
+// longer than the timeout window. Peers that never heartbeat (liveness
+// disabled) and peers still beating stay ErrPeerStalled.
+func (t *Mem) classifyStall(marks []bool) error {
+	now := time.Now().UnixNano()
+	for p, seen := range marks {
+		if seen || !t.hbOn[p].Load() {
+			continue
+		}
+		if now-t.alive[p].Load() > t.timeout.Load() {
+			return &WorkerError{Worker: p, Err: ErrPeerDead}
+		}
+	}
+	return ErrPeerStalled
 }
 
 func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
@@ -228,20 +294,30 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
 		return err
 	}
 	r := t.recvRd[to]
+	ep := t.epoch.Load()
 	pending := t.m // end-of-round markers still expected
+	marks := t.marks[to]
+	for i := range marks {
+		marks[i] = false
+	}
 
-	// First serve stashed frames from earlier overruns.
+	// First serve stashed frames from earlier overruns. Frames from a stale
+	// epoch (a pre-Reset incarnation) are discarded, payloads recycled.
 	if st := t.stash[to]; len(st) > 0 {
 		keep := st[:0]
 		for _, f := range st {
-			if f.round == r {
+			switch {
+			case f.epoch != ep:
+				PutBuf(f.data)
+			case f.round == r:
 				if f.data == nil {
 					pending--
+					marks[f.from] = true
 				} else {
 					h(f.from, f.data)
 					PutBuf(f.data) // delivered exactly once: recycle
 				}
-			} else {
+			default:
 				keep = append(keep, f)
 			}
 		}
@@ -251,7 +327,14 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
 	for pending > 0 {
 		f, err := t.boxes[to].pop(timeout)
 		if err != nil {
+			if errors.Is(err, ErrPeerStalled) {
+				return t.classifyStall(marks)
+			}
 			return err
+		}
+		if f.epoch != ep {
+			PutBuf(f.data) // stale incarnation: drop
+			continue
 		}
 		if f.round != r {
 			t.stash[to] = append(t.stash[to], f)
@@ -259,6 +342,7 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
 		}
 		if f.data == nil {
 			pending--
+			marks[f.from] = true
 		} else {
 			h(f.from, f.data)
 			PutBuf(f.data)
@@ -266,6 +350,13 @@ func (t *Mem) Drain(to int, h func(from int, data []byte)) error {
 	}
 	t.recvRd[to] = r + 1
 	return nil
+}
+
+// CloseEndpoint hard-closes worker w's receive endpoint: pending and future
+// receives fail with err until Reset re-registers the mailbox. This is the
+// mem-transport analog of a dead process's sockets going away.
+func (t *Mem) CloseEndpoint(w int, err error) {
+	t.boxes[w].poison(err)
 }
 
 func (t *Mem) Abort(err error) {
@@ -286,11 +377,18 @@ func (t *Mem) Reset() {
 	t.abortMu.Lock()
 	t.abortErr = nil
 	t.abortMu.Unlock()
+	// New membership epoch: any frame of the old incarnation that surfaces
+	// after this point is discarded by Drain.
+	t.epoch.Add(1)
+	now := time.Now().UnixNano()
 	for i, b := range t.boxes {
 		b.reset()
 		t.rounds[i].Store(0)
 		t.recvRd[i] = 0
 		t.stash[i] = nil
+		// Fresh liveness slate: a just-revived worker gets a full timeout
+		// window before it can be declared dead again.
+		t.alive[i].Store(now)
 	}
 }
 

@@ -1,40 +1,38 @@
 // Superstep checkpoint/recovery (fault tolerance).
 //
 // Following Distributed GraphLab's observation that BSP engines get cheap
-// fault tolerance from snapshotting at superstep boundaries, the engine can
-// snapshot every worker's state at the barrier — where it is consistent by
-// BSP construction — every CheckpointEvery successful supersteps. When a
+// fault tolerance from snapshotting at superstep boundaries, the engine
+// snapshots every worker's state at the barrier — where it is consistent by
+// BSP construction — every CheckpointEvery successful supersteps. The
+// snapshot is encoded into a CheckpointImage and handed to the configured
+// CheckpointStore (in-memory by default, file-backed for durability), so the
+// bytes that survive are independent of any worker's live state. When a
 // superstep fails (transport error, stalled peer, injected worker crash),
-// the engine rolls back to the last checkpoint, replays the supersteps since
-// then (FLASH steps are deterministic functions of engine state, so replay
-// reproduces the exact pre-failure state and the exact subsets the driver
-// already holds), and re-executes the failed superstep. Scripted faults are
-// one-shot, and real-world transients are by definition unlikely to repeat,
-// so replay normally succeeds; a recovery budget stops a persistent fault
-// from looping forever.
+// the engine rolls back to the last stored checkpoint, replays the
+// supersteps since then (FLASH steps are deterministic functions of engine
+// state, so replay reproduces the exact pre-failure state and the exact
+// subsets the driver already holds), and re-executes the failed superstep.
+// A *permanent* worker loss (comm.KillError from the chaos transport, or a
+// peer declared dead by the liveness layer) additionally triggers a cold
+// restart: the victim's partition state is rebuilt from the graph, its
+// transport endpoint revived, and its state rehydrated from the stored
+// image before replay. Scripted faults are one-shot, and real-world
+// transients are by definition unlikely to repeat, so replay normally
+// succeeds; a recovery budget stops a persistent fault from looping forever.
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
 
-	"flash/internal/bitset"
 	"flash/metrics"
 )
 
 // replayStep re-executes one superstep for its state effects, writing the
 // output subset into a throwaway.
 type replayStep[V any] func(out *Subset) error
-
-// checkpoint is a consistent snapshot of all worker state plus optional
-// driver-side state (e.g. a DSU) captured through the OnCheckpoint hook.
-type checkpoint[V any] struct {
-	cur      [][]V
-	frontier []*bitset.Bitset
-	driver   any
-	hasDrv   bool
-}
 
 // runtimeFailure carries an unrecovered superstep error up to Run through
 // the paper-shaped, error-free primitive signatures.
@@ -50,6 +48,13 @@ type RunResult struct {
 	Recoveries  uint64
 	Retries     uint64
 	Reconnects  uint64
+	// Restarts counts cold worker restarts after permanent worker losses,
+	// CheckpointBytes the encoded snapshot payload written to the store, and
+	// RecoveryTime the wall time spent inside recovery (rollback, replay,
+	// restart).
+	Restarts        uint64
+	CheckpointBytes uint64
+	RecoveryTime    time.Duration
 }
 
 // Run executes a FLASH driver program with the engine's fault-tolerance
@@ -81,11 +86,14 @@ func (e *Engine[V]) Run(program func() error) (res RunResult, err error) {
 func (e *Engine[V]) runResult() RunResult {
 	stats := e.tr.Stats()
 	return RunResult{
-		Supersteps:  e.met.Supersteps,
-		Checkpoints: e.met.Checkpoints,
-		Recoveries:  e.met.Recoveries,
-		Retries:     e.met.Retries,
-		Reconnects:  e.met.Reconnects + stats.Reconnects,
+		Supersteps:      e.met.Supersteps,
+		Checkpoints:     e.met.Checkpoints,
+		Recoveries:      e.met.Recoveries,
+		Retries:         e.met.Retries,
+		Reconnects:      e.met.Reconnects + stats.Reconnects,
+		Restarts:        e.met.Restarts,
+		CheckpointBytes: e.met.CheckpointBytes,
+		RecoveryTime:    e.met.RecoveryTime,
 	}
 }
 
@@ -93,7 +101,9 @@ func (e *Engine[V]) runResult() RunResult {
 // checkpoint is taken and its value is handed back to restore on rollback.
 // Algorithms that keep state outside the engine between supersteps (the
 // paper's driver-side DSU in BCC/MSF, iteration-scoped accumulators, ...)
-// register here so recovery rewinds that state too.
+// register here so recovery rewinds that state too. Driver state lives next
+// to the store image in driver memory — the driver process is the one
+// component whose loss the engine cannot survive anyway.
 func (e *Engine[V]) OnCheckpoint(save func() any, restore func(any)) {
 	e.ckptSave = save
 	e.ckptRestore = restore
@@ -105,18 +115,22 @@ func (e *Engine[V]) Err() error { return e.failed }
 // execStep runs one superstep with failure handling. exec must be a
 // deterministic function of engine state that fills out and performs this
 // worker-parallel superstep's exchange rounds. On failure the engine rolls
-// back to the last checkpoint, replays the logged supersteps and re-executes
-// exec, up to the recovery budget; an unrecovered error marks the engine
-// failed and unwinds to Run.
+// back to the last checkpoint — cold-restarting any permanently lost worker
+// first — replays the logged supersteps and re-executes exec, up to the
+// recovery budget; an unrecovered error marks the engine failed and unwinds
+// to Run.
 func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
 	if e.failed != nil {
 		panic(runtimeFailure{fmt.Errorf("core: engine already failed: %w", e.failed)})
 	}
 	ckptOn := e.cfg.CheckpointEvery > 0
-	if ckptOn && e.ckpt == nil {
+	if ckptOn && !e.hasCkpt {
 		// The initial checkpoint, taken lazily so driver-side seeding
 		// (Engine.Set) before the first superstep is captured.
-		e.takeCheckpoint()
+		if err := e.takeCheckpoint(); err != nil {
+			e.failed = err
+			panic(runtimeFailure{err})
+		}
 	}
 	e.met.Step(frontier)
 	out := e.newSubset()
@@ -128,39 +142,50 @@ func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
 		}
 		e.recoveries++
 		e.met.AddRecoveries(1)
+		rstart := time.Now()
+		if victim, lost := killedWorker(err); lost {
+			e.coldRestart(victim)
+		}
 		out = e.newSubset()
 		err = e.rollbackReplay(exec, out)
+		e.met.AddRecoveryTime(time.Since(rstart))
 	}
 	out.recount()
 	if ckptOn {
 		e.replayLog = append(e.replayLog, exec)
 		e.stepsSince++
 		if e.stepsSince >= e.cfg.CheckpointEvery {
-			e.takeCheckpoint()
+			if err := e.takeCheckpoint(); err != nil {
+				e.failed = err
+				panic(runtimeFailure{err})
+			}
 		}
 	}
 	return out
 }
 
 // canRecover reports whether err is worth a rollback: checkpointing must be
-// on with a snapshot in hand, the recovery budget must not be exhausted, and
-// the failure must not be a worker panic (deterministic: it would fire again
-// on replay).
+// on with a stored snapshot in hand, the recovery budget must not be
+// exhausted, and the failure must not be a worker panic (deterministic: it
+// would fire again on replay).
 func (e *Engine[V]) canRecover(err error) bool {
 	var wp *workerPanic
 	if errors.As(err, &wp) {
 		return false
 	}
-	return e.cfg.CheckpointEvery > 0 && e.ckpt != nil && e.recoveries < e.cfg.MaxRecoveries
+	return e.cfg.CheckpointEvery > 0 && e.hasCkpt && e.recoveries < e.cfg.MaxRecoveries
 }
 
-// rollbackReplay restores the last checkpoint, replays the supersteps logged
-// since then for their state effects, and re-executes the failed superstep
-// into out.
+// rollbackReplay restores the last stored checkpoint, replays the supersteps
+// logged since then for their state effects, and re-executes the failed
+// superstep into out.
 func (e *Engine[V]) rollbackReplay(failed replayStep[V], out *Subset) error {
 	start := time.Now()
 	e.tr.Reset()
-	e.restoreCheckpoint()
+	if err := e.restoreCheckpoint(); err != nil {
+		e.met.Add(metrics.Other, time.Since(start))
+		return err
+	}
 	for _, step := range e.replayLog {
 		if err := step(e.newSubset()); err != nil {
 			e.met.Add(metrics.Other, time.Since(start))
@@ -172,34 +197,114 @@ func (e *Engine[V]) rollbackReplay(failed replayStep[V], out *Subset) error {
 	return err
 }
 
-// takeCheckpoint snapshots every worker's cur array and frontier bitmap plus
-// the driver hook state, then truncates the replay log: everything before
-// the snapshot can never be replayed again.
-func (e *Engine[V]) takeCheckpoint() {
-	ck := &checkpoint[V]{
-		cur:      make([][]V, len(e.workers)),
-		frontier: make([]*bitset.Bitset, len(e.workers)),
+// Worker checkpoint section format (inside a CheckpointImage section):
+//
+//	slots    uvarint
+//	cur      slots × codec-encoded value
+//	fwords   uvarint
+//	frontier fwords × u64 little-endian
+//
+// The counts are validated against the live worker on restore, so an image
+// taken under a different partitioning or graph is rejected instead of
+// silently misapplied.
+
+// encodeWorkerSection serializes worker w's checkpointable state.
+func (e *Engine[V]) encodeWorkerSection(w *worker[V]) []byte {
+	fwords := w.frontier.Words()
+	buf := make([]byte, 0, len(w.cur)*8+len(fwords)*8+16)
+	buf = binary.AppendUvarint(buf, uint64(len(w.cur)))
+	for i := range w.cur {
+		buf = e.codec.Append(buf, &w.cur[i])
 	}
+	buf = binary.AppendUvarint(buf, uint64(len(fwords)))
+	for _, word := range fwords {
+		buf = binary.LittleEndian.AppendUint64(buf, word)
+	}
+	return buf
+}
+
+// decodeWorkerSection rehydrates worker w from an encoded section, fully
+// validating counts before touching live state.
+func (e *Engine[V]) decodeWorkerSection(w *worker[V], sect []byte) error {
+	slots, k := binary.Uvarint(sect)
+	if k <= 0 || slots != uint64(len(w.cur)) {
+		return fmt.Errorf("core: checkpoint section for worker %d has %d slots, want %d",
+			w.id, slots, len(w.cur))
+	}
+	off := k
+	for i := range w.cur {
+		n, err := e.codec.Decode(sect[off:], &w.cur[i])
+		if err != nil {
+			return fmt.Errorf("core: checkpoint section for worker %d: slot %d: %w", w.id, i, err)
+		}
+		off += n
+	}
+	fwords, k := binary.Uvarint(sect[off:])
+	if k <= 0 {
+		return fmt.Errorf("core: checkpoint section for worker %d: frontier length missing", w.id)
+	}
+	off += k
+	words := w.frontier.Words()
+	if fwords != uint64(len(words)) || len(sect[off:]) != 8*len(words) {
+		return fmt.Errorf("core: checkpoint section for worker %d has %d frontier words, want %d",
+			w.id, fwords, len(words))
+	}
+	scratch := make([]uint64, len(words))
+	for i := range scratch {
+		scratch[i] = binary.LittleEndian.Uint64(sect[off+8*i:])
+	}
+	w.frontier.SetWords(scratch)
+	return nil
+}
+
+// takeCheckpoint encodes every worker's cur array and frontier bitmap into a
+// CheckpointImage, saves it to the store, snapshots the driver hook state,
+// and truncates the replay log: everything before the snapshot can never be
+// replayed again.
+func (e *Engine[V]) takeCheckpoint() error {
+	e.ckptSeq++
+	img := &CheckpointImage{Seq: e.ckptSeq, Sections: make([][]byte, len(e.workers))}
+	var total uint64
 	for i, w := range e.workers {
-		ck.cur[i] = append([]V(nil), w.cur...)
-		ck.frontier[i] = w.frontier.Clone()
+		img.Sections[i] = e.encodeWorkerSection(w)
+		total += uint64(len(img.Sections[i]))
+	}
+	if err := e.store.Save(img); err != nil {
+		return fmt.Errorf("core: checkpoint %d: %w", e.ckptSeq, err)
 	}
 	if e.ckptSave != nil {
-		ck.driver = e.ckptSave()
-		ck.hasDrv = true
+		e.ckptDrv = e.ckptSave()
+		e.ckptHasDrv = true
 	}
-	e.ckpt = ck
+	e.hasCkpt = true
 	e.replayLog = e.replayLog[:0]
 	e.stepsSince = 0
 	e.met.AddCheckpoints(1)
+	e.met.AddCheckpointBytes(total)
+	return nil
 }
 
-// restoreCheckpoint copies the snapshot back and clears per-superstep
-// scratch state so replay starts from a barrier-clean slate.
-func (e *Engine[V]) restoreCheckpoint() {
+// restoreCheckpoint loads the stored image, rehydrates every worker from its
+// section, and clears per-superstep scratch state so replay starts from a
+// barrier-clean slate. Restore is all-or-nothing per worker section: a
+// mismatched or corrupt section fails before live state for later workers is
+// touched, and the store itself already rejects torn or bit-flipped files.
+func (e *Engine[V]) restoreCheckpoint() error {
+	img, err := e.store.Load()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint restore: %w", err)
+	}
+	if img == nil {
+		return fmt.Errorf("core: checkpoint restore: store has no image")
+	}
+	if len(img.Sections) != len(e.workers) {
+		return fmt.Errorf("core: checkpoint image has %d sections, want %d",
+			len(img.Sections), len(e.workers))
+	}
 	for i, w := range e.workers {
-		copy(w.cur, e.ckpt.cur[i])
-		w.frontier.CopyFrom(e.ckpt.frontier[i])
+		if err := e.decodeWorkerSection(w, img.Sections[i]); err != nil {
+			return err
+		}
 		w.nextSet.Reset()
 		for t := range w.acc {
 			if w.acc[t].set != nil {
@@ -209,7 +314,8 @@ func (e *Engine[V]) restoreCheckpoint() {
 		w.pendSet.Reset()
 		w.discardEnc() // unshipped frames back to the pool, delta bases reset
 	}
-	if e.ckpt.hasDrv && e.ckptRestore != nil {
-		e.ckptRestore(e.ckpt.driver)
+	if e.ckptHasDrv && e.ckptRestore != nil {
+		e.ckptRestore(e.ckptDrv)
 	}
+	return nil
 }

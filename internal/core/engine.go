@@ -85,9 +85,20 @@ type Config struct {
 
 	// DrainTimeout bounds how long a worker waits for a peer's next frame
 	// within one exchange round before the superstep fails with
-	// comm.ErrPeerStalled (0 = wait forever, the pre-fault-tolerance
-	// behavior).
+	// comm.ErrPeerStalled (or comm.ErrPeerDead when the liveness layer shows
+	// the peer's heartbeats have stopped). 0 selects DefaultDrainTimeout so a
+	// stalled or dead peer always converts to an error within a bounded
+	// window; negative waits forever (the pre-fault-tolerance behavior).
 	DrainTimeout time.Duration
+	// HeartbeatEvery is the interval of each worker's background heartbeat
+	// control frames, which keep the liveness layer's per-peer clocks fresh
+	// so a silent worker death is classified as comm.ErrPeerDead rather than
+	// a generic stall. 0 disables heartbeats.
+	HeartbeatEvery time.Duration
+	// Store receives checkpoint images. Defaults to an in-memory store when
+	// checkpointing is enabled; pass a FileStore to survive the loss of
+	// in-process worker state. The engine never closes the store.
+	Store CheckpointStore
 	// CheckpointEvery snapshots all worker state every n successful
 	// supersteps at the barrier (consistent by BSP construction) and enables
 	// rollback+replay recovery from transport failures. 0 disables
@@ -109,9 +120,21 @@ type Config struct {
 	FaultPlan *comm.FaultPlan
 }
 
+// DefaultDrainTimeout is the superstep deadline applied when Config leaves
+// DrainTimeout zero: generous enough that no healthy exchange ever trips it,
+// small enough that a hung peer surfaces as an error instead of a silent
+// forever-hang.
+const DefaultDrainTimeout = 30 * time.Second
+
 func (c *Config) fillDefaults() {
 	if c.Workers == 0 {
 		c.Workers = 4
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.CheckpointEvery > 0 && c.Store == nil {
+		c.Store = NewMemStore()
 	}
 	if c.Threads == 0 {
 		c.Threads = 1
@@ -153,8 +176,8 @@ func (c *Config) validate() error {
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
 	}
-	if c.DrainTimeout < 0 {
-		return fmt.Errorf("core: DrainTimeout must be >= 0, got %v", c.DrainTimeout)
+	if c.HeartbeatEvery < 0 {
+		return fmt.Errorf("core: HeartbeatEvery must be >= 0, got %v", c.HeartbeatEvery)
 	}
 	return nil
 }
@@ -185,12 +208,20 @@ type Engine[V any] struct {
 
 	// Fault-tolerance state (driver-side, single-threaded between steps).
 	failed      error           // first unrecovered superstep failure
-	ckpt        *checkpoint[V]  // last consistent snapshot (nil until taken)
+	store       CheckpointStore // snapshot persistence (cfg.Store)
+	ckptSeq     uint64          // sequence number of the last image saved
+	hasCkpt     bool            // a restorable image exists in the store
+	ckptDrv     any             // driver hook state captured with the image
+	ckptHasDrv  bool            // ckptDrv is valid
 	replayLog   []replayStep[V] // supersteps since the last checkpoint
 	stepsSince  int             // supersteps since the last checkpoint
 	recoveries  int             // rollbacks performed so far
 	ckptSave    func() any      // driver-state hook: snapshot (e.g. DSU)
 	ckptRestore func(any)       // driver-state hook: restore
+
+	// Liveness: per-worker background heartbeaters (HeartbeatEvery > 0).
+	hbStop []chan struct{}
+	hbDone []chan struct{}
 }
 
 // worker is the per-worker state ("process memory").
@@ -300,48 +331,59 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 		cfg:   cfg,
 		met:   cfg.Collector,
 	}
-	n := g.NumVertices()
+	e.store = cfg.Store
 	e.workers = make([]*worker[V], cfg.Workers)
 	for wi := range e.workers {
-		st := part.Parts[wi].Slots
-		if cfg.FullMirrors {
-			st = partition.FullSlotTable(place, wi, n)
-		}
-		w := &worker[V]{
-			id:       wi,
-			eng:      e,
-			part:     part.Parts[wi],
-			st:       st,
-			cur:      make([]V, st.SlotCount()),
-			next:     make([]V, place.LocalCount(wi)),
-			nextSet:  bitset.New(place.LocalCount(wi)),
-			acc:      make([]accShard[V], cfg.Threads),
-			pendVal:  make([]V, place.LocalCount(wi)),
-			pendSet:  bitset.New(place.LocalCount(wi)),
-			frontier: bitset.New(n),
-			outKV:    make([]comm.KVWriter[V], cfg.Workers),
-			met:      metrics.New(),
-		}
-		// Shard 0 serves the sequential push path and the fold target of
-		// mergeAcc; the per-thread shards 1.. are lazy (ensureAccShards).
-		w.acc[0] = accShard[V]{val: make([]V, st.SlotCount()), set: bitset.New(st.SlotCount())}
-		for to := range w.outKV {
-			w.outKV[to].Init(e.codec)
-		}
-		if cfg.Threads > 1 {
-			w.encKV = make([][]comm.KVWriter[V], cfg.Threads)
-			w.encMsgs = make([]int, cfg.Threads)
-			for t := range w.encKV {
-				w.encKV[t] = make([]comm.KVWriter[V], cfg.Workers)
-				for to := range w.encKV[t] {
-					w.encKV[t][to].Init(e.codec)
-				}
+		e.workers[wi] = e.newWorker(wi)
+	}
+	e.startHeartbeaters()
+	return e, nil
+}
+
+// newWorker allocates worker wi's state from the current partition. It is
+// used both at construction and by coldRestart, where the victim's partition
+// entry has just been rebuilt: everything a worker holds must be derivable
+// from the graph, the placement, and (via restoreCheckpoint) the stored
+// image.
+func (e *Engine[V]) newWorker(wi int) *worker[V] {
+	cfg, place, n := e.cfg, e.place, e.g.NumVertices()
+	st := e.part.Parts[wi].Slots
+	if cfg.FullMirrors {
+		st = partition.FullSlotTable(place, wi, n)
+	}
+	w := &worker[V]{
+		id:       wi,
+		eng:      e,
+		part:     e.part.Parts[wi],
+		st:       st,
+		cur:      make([]V, st.SlotCount()),
+		next:     make([]V, place.LocalCount(wi)),
+		nextSet:  bitset.New(place.LocalCount(wi)),
+		acc:      make([]accShard[V], cfg.Threads),
+		pendVal:  make([]V, place.LocalCount(wi)),
+		pendSet:  bitset.New(place.LocalCount(wi)),
+		frontier: bitset.New(n),
+		outKV:    make([]comm.KVWriter[V], cfg.Workers),
+		met:      metrics.New(),
+	}
+	// Shard 0 serves the sequential push path and the fold target of
+	// mergeAcc; the per-thread shards 1.. are lazy (ensureAccShards).
+	w.acc[0] = accShard[V]{val: make([]V, st.SlotCount()), set: bitset.New(st.SlotCount())}
+	for to := range w.outKV {
+		w.outKV[to].Init(e.codec)
+	}
+	if cfg.Threads > 1 {
+		w.encKV = make([][]comm.KVWriter[V], cfg.Threads)
+		w.encMsgs = make([]int, cfg.Threads)
+		for t := range w.encKV {
+			w.encKV[t] = make([]comm.KVWriter[V], cfg.Workers)
+			for to := range w.encKV[t] {
+				w.encKV[t][to].Init(e.codec)
 			}
 		}
-		w.ctx = Ctx[V]{G: g, w: w}
-		e.workers[wi] = w
 	}
-	return e, nil
+	w.ctx = Ctx[V]{G: e.g, w: w}
+	return w
 }
 
 // Graph returns the underlying topology.
@@ -366,6 +408,7 @@ func (e *Engine[V]) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.stopHeartbeaters()
 	for _, w := range e.workers {
 		if w.pool != nil {
 			w.pool.stop()
@@ -400,6 +443,14 @@ func (e *Engine[V]) parallelWorkers(f func(w *worker[V]) error) error {
 			}()
 			if err := f(w); err != nil {
 				errs[w.id] = err
+				// A killed worker dies silently: no abort broadcast, so its
+				// peers must detect the loss through the liveness layer
+				// (heartbeats + drain deadline), exactly as a real process
+				// death would surface.
+				var ke *comm.KillError
+				if errors.As(err, &ke) && ke.Worker == w.id {
+					return
+				}
 				e.tr.Abort(comm.ErrAborted)
 			}
 		}()

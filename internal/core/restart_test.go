@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flash/graph"
+	"flash/internal/comm"
+)
+
+// coldRestartConfig is the canonical worker-loss setup: durable file store,
+// frequent checkpoints, heartbeats arming the liveness layer, and a short
+// drain deadline so a dead peer is detected quickly.
+func coldRestartConfig(t *testing.T, workers int, kills []comm.WorkerKill) Config {
+	t.Helper()
+	store, err := NewFileStore(filepath.Join(t.TempDir(), "ckpt.flash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Workers:         workers,
+		CheckpointEvery: 2,
+		MaxRecoveries:   5,
+		Store:           store,
+		HeartbeatEvery:  10 * time.Millisecond,
+		DrainTimeout:    80 * time.Millisecond,
+		FaultPlan:       &comm.FaultPlan{Kills: kills},
+	}
+}
+
+// TestColdRestartSurvivesWorkerKill is the tentpole end-to-end test: a
+// worker is hard-killed mid-run (endpoint torn down, all its calls failing),
+// the liveness layer detects the loss, the engine rebuilds the worker from
+// the graph and rehydrates it from the file-backed checkpoint store, and the
+// run completes with results identical to a fault-free execution.
+func TestColdRestartSurvivesWorkerKill(t *testing.T) {
+	g := graph.GenErdosRenyi(120, 500, 3)
+	want := seqBFS(g, 0)
+	e := mustEngine(t, g, coldRestartConfig(t, 4, []comm.WorkerKill{{Worker: 2, Round: 5}}))
+	got, res, err := runBFSChecked(e, 0)
+	if err != nil {
+		t.Fatalf("run did not survive the kill: %v", err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("restarts=%d, want >=1 (res=%+v)", res.Restarts, res)
+	}
+	if res.Recoveries < 1 {
+		t.Fatalf("recoveries=%d, want >=1", res.Recoveries)
+	}
+	if res.CheckpointBytes == 0 {
+		t.Fatal("no checkpoint bytes recorded despite checkpointing to a file store")
+	}
+	if res.RecoveryTime <= 0 {
+		t.Fatal("recovery time not recorded")
+	}
+	if err := e.CheckMirrorCoherence(func(a, b bfsProps) bool { return a == b }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColdRestartFromMemStoreAndHash exercises the same path with the
+// default in-memory store and hash placement, proving restart correctness is
+// independent of the store backend and the partitioning scheme.
+func TestColdRestartFromMemStoreAndHash(t *testing.T) {
+	g := graph.GenErdosRenyi(100, 420, 9)
+	want := seqBFS(g, 0)
+	cfg := coldRestartConfig(t, 3, []comm.WorkerKill{{Worker: 1, Round: 4}})
+	cfg.Store = NewMemStore()
+	cfg.UseHashPlacement = true
+	e := mustEngine(t, g, cfg)
+	got, res, err := runBFSChecked(e, 0)
+	if err != nil {
+		t.Fatalf("run did not survive the kill: %v", err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("restarts=%d, want >=1", res.Restarts)
+	}
+}
+
+// TestWorkerKillWithoutCheckpointingFails verifies a permanent loss without
+// a checkpoint to restart from is a bounded, clean failure: Run returns an
+// error within the deadline instead of hanging.
+func TestWorkerKillWithoutCheckpointingFails(t *testing.T) {
+	g := graph.GenPath(40)
+	e := mustEngine(t, g, Config{
+		Workers:        2,
+		HeartbeatEvery: 10 * time.Millisecond,
+		DrainTimeout:   80 * time.Millisecond,
+		FaultPlan:      &comm.FaultPlan{Kills: []comm.WorkerKill{{Worker: 1, Round: 2}}},
+	})
+	start := time.Now()
+	_, _, err := runBFSChecked(e, 0)
+	if err == nil {
+		t.Fatal("run succeeded despite an unrecoverable worker loss")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failure took %v, want bounded detection", elapsed)
+	}
+}
+
+// TestColdRestartBudgetExhausted verifies a worker that keeps dying runs out
+// of recovery budget instead of looping forever.
+func TestColdRestartBudgetExhausted(t *testing.T) {
+	g := graph.GenPath(40)
+	cfg := coldRestartConfig(t, 2, []comm.WorkerKill{
+		{Worker: 1, Round: 3},
+		{Worker: 1, Round: 0}, // re-kill the revived incarnation immediately
+	})
+	cfg.MaxRecoveries = 1
+	e := mustEngine(t, g, cfg)
+	_, res, err := runBFSChecked(e, 0)
+	if err == nil {
+		t.Fatal("run succeeded despite kills beyond the recovery budget")
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("recoveries=%d, want exactly MaxRecoveries=1", res.Recoveries)
+	}
+}
+
+// TestKilledWorkerClassifier pins the two error shapes that identify a
+// permanent loss.
+func TestKilledWorkerClassifier(t *testing.T) {
+	if w, ok := killedWorker(&comm.KillError{Worker: 3}); !ok || w != 3 {
+		t.Fatalf("KillError: got (%d,%v)", w, ok)
+	}
+	wrapped := &comm.WorkerError{Worker: 2, Err: comm.ErrPeerDead}
+	if w, ok := killedWorker(wrapped); !ok || w != 2 {
+		t.Fatalf("WorkerError{ErrPeerDead}: got (%d,%v)", w, ok)
+	}
+	if _, ok := killedWorker(&comm.WorkerError{Worker: 2, Err: comm.ErrPeerStalled}); ok {
+		t.Fatal("stalled peer misclassified as dead")
+	}
+	if _, ok := killedWorker(errors.New("boom")); ok {
+		t.Fatal("arbitrary error misclassified as a worker loss")
+	}
+}
+
+// TestDefaultDrainTimeoutApplied verifies the sane-default satellite: leaving
+// DrainTimeout zero selects DefaultDrainTimeout, and negative restores the
+// wait-forever behavior.
+func TestDefaultDrainTimeoutApplied(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.DrainTimeout != DefaultDrainTimeout {
+		t.Fatalf("DrainTimeout=%v, want DefaultDrainTimeout", c.DrainTimeout)
+	}
+	c2 := Config{DrainTimeout: -1}
+	c2.fillDefaults()
+	if c2.DrainTimeout != -1 {
+		t.Fatalf("negative DrainTimeout rewritten to %v", c2.DrainTimeout)
+	}
+	c3 := Config{CheckpointEvery: 2}
+	c3.fillDefaults()
+	if c3.Store == nil {
+		t.Fatal("checkpointing enabled without a default store")
+	}
+}

@@ -26,11 +26,14 @@ var CommErr = &Analyzer{
 // local stubs; the shipped runtime's transports and engines all use these
 // names.
 var commErrReceivers = map[string]bool{
-	"Transport": true, // comm.Transport interface
-	"Mem":       true, // comm.Mem
-	"TCP":       true, // comm.TCP
-	"Faulty":    true, // comm.Faulty chaos wrapper
-	"Engine":    true, // core.Engine / flash.Engine
+	"Transport":       true, // comm.Transport interface
+	"Mem":             true, // comm.Mem
+	"TCP":             true, // comm.TCP
+	"Faulty":          true, // comm.Faulty chaos wrapper
+	"Engine":          true, // core.Engine / flash.Engine
+	"CheckpointStore": true, // core.CheckpointStore interface
+	"MemStore":        true, // core.MemStore
+	"FileStore":       true, // core.FileStore
 }
 
 var commErrMethods = map[string]bool{
@@ -38,6 +41,8 @@ var commErrMethods = map[string]bool{
 	"EndRound": true,
 	"Drain":    true,
 	"Run":      true,
+	"Save":     true, // a dropped Save error silently loses checkpoint durability
+	"Load":     true, // a dropped Load error restores from a phantom image
 }
 
 func runCommErr(pass *Pass) error {

@@ -1,6 +1,6 @@
 // Fixture for the commerr analyzer: fault-surface errors (transport
-// Send/EndRound/Drain, Engine.Run) must be checked or explicitly waived
-// with //flash:ignore-err <reason>.
+// Send/EndRound/Drain, Engine.Run, checkpoint-store Save/Load) must be
+// checked or explicitly waived with //flash:ignore-err <reason>.
 package commerr
 
 type Transport struct{}
@@ -13,22 +13,47 @@ type Engine struct{}
 
 func (e *Engine) Run(p func() error) (int, error) { return 0, nil }
 
-func bad(tr *Transport, e *Engine) {
-	tr.Send(0, 1, nil)   // want `Transport.Send error discarded`
-	_ = tr.EndRound(0)   // want `Transport.EndRound error assigned to _`
-	tr.Drain(0, nil)     // want `Transport.Drain error discarded`
-	e.Run(nil)           // want `Engine.Run error discarded`
+// Image stands in for core.CheckpointImage; the store stubs mirror the
+// runtime's CheckpointStore fault surface.
+type Image struct{}
+
+type FileStore struct{}
+
+func (s *FileStore) Save(img *Image) error { return nil }
+func (s *FileStore) Load() (*Image, error) { return nil, nil }
+
+type MemStore struct{}
+
+func (s *MemStore) Save(img *Image) error { return nil }
+func (s *MemStore) Load() (*Image, error) { return nil, nil }
+
+func bad(tr *Transport, e *Engine, fs *FileStore, ms *MemStore) {
+	tr.Send(0, 1, nil)    // want `Transport.Send error discarded`
+	_ = tr.EndRound(0)    // want `Transport.EndRound error assigned to _`
+	tr.Drain(0, nil)      // want `Transport.Drain error discarded`
+	e.Run(nil)            // want `Engine.Run error discarded`
 	go tr.Send(1, 0, nil) // want `Transport.Send error discarded by go statement`
 	defer tr.EndRound(0)  // want `Transport.EndRound error discarded by defer`
+	fs.Save(nil)          // want `FileStore.Save error discarded`
+	_, _ = fs.Load()      // want `FileStore.Load error assigned to _`
+	ms.Save(nil)          // want `MemStore.Save error discarded`
+	defer fs.Save(nil)    // want `FileStore.Save error discarded by defer`
 }
 
-func good(tr *Transport, e *Engine) error {
+func good(tr *Transport, e *Engine, fs *FileStore, ms *MemStore) error {
 	if err := tr.Send(0, 1, nil); err != nil {
 		return err
 	}
 	tr.EndRound(0) //flash:ignore-err round already aborted, EndRound error duplicates it
 	//flash:ignore-err draining a closed transport cannot fail
 	_ = tr.Drain(0, nil)
+	if err := fs.Save(nil); err != nil {
+		return err
+	}
+	if _, err := ms.Load(); err != nil {
+		return err
+	}
+	fs.Save(nil) //flash:ignore-err best-effort final snapshot during shutdown
 	_, err := e.Run(nil)
 	return err
 }

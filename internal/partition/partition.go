@@ -182,6 +182,64 @@ func New(g *graph.Graph, place Placement) *Partitioned {
 	return p
 }
 
+// Rebuild reconstructs worker w's Part from scratch — mirror set, per-master
+// mirror-worker lists, and slot table — as if New had just run, and installs
+// it in p. It exists for cold worker restart: a permanently lost worker's
+// partition view is recomputed from the graph and placement alone, which is
+// possible precisely because every Part is a pure function of (g, place).
+// The result is identical to the Part New produced, so the restarted
+// worker's slot-indexed state lines up with the checkpoint image byte for
+// byte.
+func (p *Partitioned) Rebuild(w int) *Part {
+	g, place, n := p.G, p.Place, p.nTotal
+	part := &Part{
+		Worker:        w,
+		Mirrors:       bitset.New(n),
+		MirrorWorkers: make([][]int, place.LocalCount(w)),
+	}
+	// Mirror set: remote endpoints of the local masters' edges, both
+	// directions (pass 1 of New restricted to w).
+	for l := 0; l < place.LocalCount(w); l++ {
+		v := place.GlobalID(w, l)
+		for _, u := range g.OutNeighbors(v) {
+			if place.Owner(u) != w {
+				part.Mirrors.Set(int(u))
+			}
+		}
+		for _, u := range g.InNeighbors(v) {
+			if place.Owner(u) != w {
+				part.Mirrors.Set(int(u))
+			}
+		}
+	}
+	// Mirror-worker lists for w's masters: worker u mirrors master v exactly
+	// when some master of u has an edge touching v, i.e. when v has an in- or
+	// out-neighbor owned by u. New's pass 2 appends in ascending worker
+	// order, so collect owner flags and emit them sorted the same way.
+	seen := make([]bool, place.Workers())
+	for l := range part.MirrorWorkers {
+		v := place.GlobalID(w, l)
+		for _, u := range g.OutNeighbors(v) {
+			seen[place.Owner(u)] = true
+		}
+		for _, u := range g.InNeighbors(v) {
+			seen[place.Owner(u)] = true
+		}
+		seen[w] = false
+		var ws []int
+		for ow, hit := range seen {
+			if hit {
+				ws = append(ws, ow)
+				seen[ow] = false
+			}
+		}
+		part.MirrorWorkers[l] = ws
+	}
+	part.Slots = NewSlotTable(place, w, part.Mirrors)
+	p.Parts[w] = part
+	return part
+}
+
 // Workers returns the number of workers.
 func (p *Partitioned) Workers() int { return p.Place.Workers() }
 

@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"flash/graph"
+)
+
+// TestRebuildMatchesNew verifies cold restart's foundation: Rebuild(w) must
+// reproduce exactly the Part that New computed, for every worker, on both
+// placements, across random graphs — mirror set, mirror-worker lists (same
+// order), and slot table.
+func TestRebuildMatchesNew(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := graph.GenErdosRenyi(80, 300, seed)
+		for _, m := range []int{1, 2, 3, 5} {
+			for _, place := range []Placement{
+				NewRange(g.NumVertices(), m),
+				NewHash(g.NumVertices(), m),
+			} {
+				want := New(g, place)
+				got := New(g, place)
+				for w := 0; w < m; w++ {
+					got.Rebuild(w)
+				}
+				if err := got.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d m=%d %T: rebuilt partition invalid: %v", seed, m, place, err)
+				}
+				for w := 0; w < m; w++ {
+					a, b := want.Parts[w], got.Parts[w]
+					if !a.Mirrors.Equal(b.Mirrors) {
+						t.Fatalf("seed %d m=%d %T worker %d: mirror sets differ", seed, m, place, w)
+					}
+					if len(a.MirrorWorkers) != len(b.MirrorWorkers) {
+						t.Fatalf("seed %d m=%d worker %d: mirror-worker list length differs", seed, m, w)
+					}
+					for l := range a.MirrorWorkers {
+						aw, bw := a.MirrorWorkers[l], b.MirrorWorkers[l]
+						if len(aw) == 0 && len(bw) == 0 {
+							continue
+						}
+						if !reflect.DeepEqual(aw, bw) {
+							t.Fatalf("seed %d m=%d worker %d master %d: mirror workers %v != %v",
+								seed, m, w, l, bw, aw)
+						}
+					}
+					if a.Slots.SlotCount() != b.Slots.SlotCount() {
+						t.Fatalf("seed %d m=%d worker %d: slot count differs", seed, m, w)
+					}
+					for s := 0; s < a.Slots.SlotCount(); s++ {
+						if a.Slots.GID(s) != b.Slots.GID(s) {
+							t.Fatalf("seed %d m=%d worker %d slot %d: gid %d != %d",
+								seed, m, w, s, b.Slots.GID(s), a.Slots.GID(s))
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -59,6 +59,13 @@ type Collector struct {
 	Reconnects  uint64
 	Recoveries  uint64
 	Checkpoints uint64
+	// Restarts counts cold worker restarts after a permanent worker loss;
+	// CheckpointBytes is the total encoded checkpoint payload handed to the
+	// store; RecoveryTime is the wall time spent inside recovery (rollback,
+	// replay, and cold restarts).
+	Restarts        uint64
+	CheckpointBytes uint64
+	RecoveryTime    time.Duration
 }
 
 // New returns an empty collector.
@@ -111,6 +118,27 @@ func (col *Collector) AddRecoveries(n uint64) {
 func (col *Collector) AddCheckpoints(n uint64) {
 	col.mu.Lock()
 	col.Checkpoints += n
+	col.mu.Unlock()
+}
+
+// AddRestarts records n cold worker restarts.
+func (col *Collector) AddRestarts(n uint64) {
+	col.mu.Lock()
+	col.Restarts += n
+	col.mu.Unlock()
+}
+
+// AddCheckpointBytes records n bytes of encoded checkpoint payload.
+func (col *Collector) AddCheckpointBytes(n uint64) {
+	col.mu.Lock()
+	col.CheckpointBytes += n
+	col.mu.Unlock()
+}
+
+// AddRecoveryTime records wall time spent recovering from a failure.
+func (col *Collector) AddRecoveryTime(d time.Duration) {
+	col.mu.Lock()
+	col.RecoveryTime += d
 	col.mu.Unlock()
 }
 
@@ -168,6 +196,7 @@ func (col *Collector) Merge(other *Collector) {
 	frontier := append([]int(nil), other.Frontier...)
 	retries, reconnects := other.Retries, other.Reconnects
 	recoveries, checkpoints := other.Recoveries, other.Checkpoints
+	restarts, ckptBytes, recTime := other.Restarts, other.CheckpointBytes, other.RecoveryTime
 	other.mu.Unlock()
 
 	col.mu.Lock()
@@ -182,6 +211,9 @@ func (col *Collector) Merge(other *Collector) {
 	col.Reconnects += reconnects
 	col.Recoveries += recoveries
 	col.Checkpoints += checkpoints
+	col.Restarts += restarts
+	col.CheckpointBytes += ckptBytes
+	col.RecoveryTime += recTime
 	col.mu.Unlock()
 }
 
@@ -197,6 +229,9 @@ func (col *Collector) Reset() {
 	col.Reconnects = 0
 	col.Recoveries = 0
 	col.Checkpoints = 0
+	col.Restarts = 0
+	col.CheckpointBytes = 0
+	col.RecoveryTime = 0
 	col.mu.Unlock()
 }
 
@@ -212,6 +247,10 @@ func (col *Collector) String() string {
 	if col.Retries+col.Reconnects+col.Recoveries+col.Checkpoints > 0 {
 		fmt.Fprintf(&sb, " retries=%d reconnects=%d recoveries=%d checkpoints=%d",
 			col.Retries, col.Reconnects, col.Recoveries, col.Checkpoints)
+	}
+	if col.Restarts+col.CheckpointBytes > 0 || col.RecoveryTime > 0 {
+		fmt.Fprintf(&sb, " restarts=%d ckpt_bytes=%d recovery_time=%s",
+			col.Restarts, col.CheckpointBytes, col.RecoveryTime.Round(time.Microsecond))
 	}
 	return sb.String()
 }
