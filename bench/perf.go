@@ -78,6 +78,20 @@ type RecoveryStat struct {
 	Recoveries      uint64 `json:"recoveries"`
 }
 
+// ResizeStat is one elastic-membership entry in BENCH_flash.json: a BFS run
+// on the fixed graph during which the engine grows 2→8 workers and then
+// shrinks to 4 at scheduled supersteps. It reports the number of completed
+// membership changes, the master-state volume shipped between partitions,
+// and the wall time spent paused at resize barriers, next to the elastic
+// run's total and a fixed-4-worker fault-free baseline.
+type ResizeStat struct {
+	FixedNs       int64  `json:"fixed_ns"`
+	ElasticNs     int64  `json:"elastic_ns"`
+	Resizes       uint64 `json:"resizes"`
+	MigratedBytes uint64 `json:"migrated_bytes"`
+	ResizeTimeNs  int64  `json:"resize_time_ns"`
+}
+
 // PerfSuite is the full BENCH_flash.json document.
 type PerfSuite struct {
 	Schema     string                  `json:"schema"`
@@ -92,6 +106,7 @@ type PerfSuite struct {
 	Micro      map[string]MicroStat    `json:"micro"`
 	Mem        map[string]MemStat      `json:"mem,omitempty"`
 	Recovery   map[string]RecoveryStat `json:"recovery,omitempty"`
+	Resize     map[string]ResizeStat   `json:"resize,omitempty"`
 	Suite      []PerfCell              `json:"suite"`
 }
 
@@ -254,6 +269,46 @@ func MeasureRecovery(transport string) (RecoveryStat, error) {
 	}, nil
 }
 
+// MeasureResize runs the elastic-membership scenario on the fixed graph: a
+// fault-free fixed-4-worker BFS for the baseline wall time, then the same
+// BFS started on 2 workers with a schedule policy that grows the engine to 8
+// workers after superstep 2 and shrinks it to 4 after superstep 4. The
+// collector's elasticity counters populate the stat, so the migration cost
+// of a membership change is tracked as a first-class benchmark number.
+func MeasureResize(transport string) (ResizeStat, error) {
+	g := graph.GenRMAT(4096, 4096*12, 101)
+	fixedOpts := []flash.Option{flash.WithWorkers(4)}
+	if transport == "tcp" {
+		fixedOpts = append(fixedOpts, flash.WithTCP())
+	}
+	start := time.Now()
+	if _, err := algo.BFS(g, 0, fixedOpts...); err != nil {
+		return ResizeStat{}, err
+	}
+	fixed := time.Since(start)
+	col := metrics.New()
+	opts := []flash.Option{
+		flash.WithWorkers(2),
+		flash.WithCollector(col),
+		flash.WithResizePolicy(flash.SchedulePolicy(map[int]int{2: 8, 4: 4})),
+	}
+	if transport == "tcp" {
+		opts = append(opts, flash.WithTCP())
+	}
+	start = time.Now()
+	if _, err := algo.BFS(g, 0, opts...); err != nil {
+		return ResizeStat{}, fmt.Errorf("elastic run: %w", err)
+	}
+	elastic := time.Since(start)
+	return ResizeStat{
+		FixedNs:       fixed.Nanoseconds(),
+		ElasticNs:     elastic.Nanoseconds(),
+		Resizes:       col.Resizes,
+		MigratedBytes: col.MigratedBytes,
+		ResizeTimeNs:  col.ResizeTime.Nanoseconds(),
+	}, nil
+}
+
 // perfAlgo is one algorithm of the fixed grid. run executes a full job with
 // the supplied engine options and must do all work before returning.
 type perfAlgo struct {
@@ -289,6 +344,7 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 		Micro:      map[string]MicroStat{},
 		Mem:        map[string]MemStat{},
 		Recovery:   map[string]RecoveryStat{},
+		Resize:     map[string]ResizeStat{},
 	}
 	for _, c := range []struct{ w, t int }{{1, 1}, {4, 1}, {4, 4}} {
 		r := MicroSparse(c.w, c.t)
@@ -309,6 +365,11 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 			return nil, fmt.Errorf("recovery %s: %w", transport, err)
 		}
 		s.Recovery[fmt.Sprintf("bfs_kill_%s_w4", transport)] = r
+		rz, err := MeasureResize(transport)
+		if err != nil {
+			return nil, fmt.Errorf("resize %s: %w", transport, err)
+		}
+		s.Resize[fmt.Sprintf("bfs_elastic_%s_w2to8to4", transport)] = rz
 	}
 	for _, a := range fixedAlgos(g, weighted) {
 		for _, transport := range []string{"mem", "tcp"} {
@@ -453,6 +514,17 @@ func PrintPerf(w io.Writer, s *PerfSuite) {
 		fmt.Fprintf(w, "%-28s recover %10.2fms (run %7.1fms vs %7.1fms fault-free) %8d ckpt B %d restarts\n",
 			k, float64(r.TimeToRecoverNs)/1e6, float64(r.FaultedNs)/1e6,
 			float64(r.FaultFreeNs)/1e6, r.CheckpointBytes, r.Restarts)
+	}
+	rzKeys := make([]string, 0, len(s.Resize))
+	for k := range s.Resize {
+		rzKeys = append(rzKeys, k)
+	}
+	sort.Strings(rzKeys)
+	for _, k := range rzKeys {
+		r := s.Resize[k]
+		fmt.Fprintf(w, "%-28s %d resizes %10.2fms paused %10d B migrated (run %7.1fms vs %7.1fms fixed)\n",
+			k, r.Resizes, float64(r.ResizeTimeNs)/1e6, r.MigratedBytes,
+			float64(r.ElasticNs)/1e6, float64(r.FixedNs)/1e6)
 	}
 	for _, c := range s.Suite {
 		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",

@@ -151,6 +151,14 @@ func TestChaosWorkerLossColdRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantDist, err := algo.SSSP(g, 0, flash.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKT, err := algo.KTruss(g, 3, flash.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tcp := range []bool{false, true} {
 		name := "mem"
 		if tcp {
@@ -203,6 +211,183 @@ func TestChaosWorkerLossColdRestart(t *testing.T) {
 			if colPR.Restarts == 0 {
 				t.Errorf("pagerank: no cold restarts recorded (%v)", colPR)
 			}
+
+			// SSSP's min-reduction over float distances is exact regardless
+			// of reduction order, so byte-identity holds at any worker count.
+			colSP := metrics.New()
+			gotDist, err := algo.SSSP(g, 0, lossOpts(t, 4, colSP, tcp)...)
+			if err != nil {
+				t.Fatalf("sssp did not survive the kill: %v", err)
+			}
+			for v := range wantDist {
+				if gotDist[v] != wantDist[v] {
+					t.Fatalf("sssp dist[%d]=%v want %v", v, gotDist[v], wantDist[v])
+				}
+			}
+			if colSP.Restarts == 0 {
+				t.Errorf("sssp: no cold restarts recorded (%v)", colSP)
+			}
+
+			// k-truss exercises variable-length neighbor-list properties
+			// through checkpoint encode/decode; the surviving edge set is
+			// unique, so compare as a set.
+			colKT := metrics.New()
+			gotKT, err := algo.KTruss(g, 3, lossOpts(t, 4, colKT, tcp)...)
+			if err != nil {
+				t.Fatalf("ktruss did not survive the kill: %v", err)
+			}
+			if len(gotKT) != len(wantKT) {
+				t.Fatalf("ktruss: %d edges, want %d", len(gotKT), len(wantKT))
+			}
+			inTruss := make(map[[2]graph.VID]bool, len(wantKT))
+			for _, e := range wantKT {
+				inTruss[e] = true
+			}
+			for _, e := range gotKT {
+				if !inTruss[e] {
+					t.Fatalf("ktruss: edge %v not in fault-free truss", e)
+				}
+			}
+			if colKT.Restarts == 0 {
+				t.Errorf("ktruss: no cold restarts recorded (%v)", colKT)
+			}
+		})
+	}
+}
+
+// resizeChaosOpts arms the elastic-membership acceptance scenario: a 2-worker
+// engine scheduled to grow to 8 workers after superstep 2 and shrink to 4
+// after superstep 4, with the first migration round interrupted by a hard
+// kill of worker 1. Recovery must roll the resize back to the pre-resize
+// image, cold-restart the victim, and retry the membership change.
+func resizeChaosOpts(t *testing.T, col *metrics.Collector, tcp bool) []flash.Option {
+	t.Helper()
+	store, err := flash.NewFileCheckpointStore(filepath.Join(t.TempDir(), "ckpt.flash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []flash.Option{
+		flash.WithWorkers(2),
+		flash.WithCollector(col),
+		flash.WithCheckpointEvery(1),
+		flash.WithCheckpointStore(store),
+		flash.WithMaxRecoveries(6),
+		flash.WithHeartbeatEvery(10 * time.Millisecond),
+		flash.WithDrainTimeout(200 * time.Millisecond),
+		flash.WithResizePolicy(flash.SchedulePolicy(map[int]int{2: 8, 4: 4})),
+		flash.WithFaultPlan(flash.FaultPlan{
+			ResizeKills: []flash.ResizeKill{{Worker: 1, Phase: 0}},
+		}),
+	}
+	if tcp {
+		opts = append(opts, flash.WithTCP())
+	}
+	return opts
+}
+
+// TestChaosElasticResizeWithMidMigrationKill is the elastic-membership
+// acceptance scenario on the full public stack: a run that scales w2→w8→w4
+// mid-flight, with the first migration hard-killed partway, must finish
+// byte-identical to a fault-free fixed-4-worker run on both transports.
+// Exact-arithmetic algorithms only: BFS/CC/SSSP reduce by min and k-truss by
+// set peeling, so results are invariant to membership; PageRank's float sum
+// order is not.
+func TestChaosElasticResizeWithMidMigrationKill(t *testing.T) {
+	g := graph.GenErdosRenyi(200, 900, 5)
+	wantDis, err := algo.BFS(g, 0, flash.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC, err := algo.CC(g, flash.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSP, err := algo.SSSP(g, 0, flash.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKT, err := algo.KTruss(g, 3, flash.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			checkCol := func(what string, col *metrics.Collector) {
+				t.Helper()
+				if col.Resizes != 2 {
+					t.Errorf("%s: %d resizes completed, want 2 (%v)", what, col.Resizes, col)
+				}
+				if col.MigratedBytes == 0 {
+					t.Errorf("%s: no migration traffic recorded (%v)", what, col)
+				}
+				if col.Recoveries == 0 {
+					t.Errorf("%s: the mid-migration kill caused no recovery (%v)", what, col)
+				}
+				if col.Restarts == 0 {
+					t.Errorf("%s: the killed worker was never cold-restarted (%v)", what, col)
+				}
+			}
+
+			colBFS := metrics.New()
+			gotDis, err := algo.BFS(g, 0, resizeChaosOpts(t, colBFS, tcp)...)
+			if err != nil {
+				t.Fatalf("bfs did not survive the elastic run: %v", err)
+			}
+			for v := range wantDis {
+				if gotDis[v] != wantDis[v] {
+					t.Fatalf("bfs dist[%d]=%d want %d", v, gotDis[v], wantDis[v])
+				}
+			}
+			checkCol("bfs", colBFS)
+
+			colCC := metrics.New()
+			gotCC, err := algo.CC(g, resizeChaosOpts(t, colCC, tcp)...)
+			if err != nil {
+				t.Fatalf("cc did not survive the elastic run: %v", err)
+			}
+			for v := range wantCC {
+				if gotCC[v] != wantCC[v] {
+					t.Fatalf("cc label[%d]=%d want %d", v, gotCC[v], wantCC[v])
+				}
+			}
+			checkCol("cc", colCC)
+
+			colSP := metrics.New()
+			gotSP, err := algo.SSSP(g, 0, resizeChaosOpts(t, colSP, tcp)...)
+			if err != nil {
+				t.Fatalf("sssp did not survive the elastic run: %v", err)
+			}
+			for v := range wantSP {
+				if gotSP[v] != wantSP[v] {
+					t.Fatalf("sssp dist[%d]=%v want %v", v, gotSP[v], wantSP[v])
+				}
+			}
+			checkCol("sssp", colSP)
+
+			// k-truss migrates variable-length neighbor-list properties
+			// between partitions — the codec-heavy corner of migration.
+			colKT := metrics.New()
+			gotKT, err := algo.KTruss(g, 3, resizeChaosOpts(t, colKT, tcp)...)
+			if err != nil {
+				t.Fatalf("ktruss did not survive the elastic run: %v", err)
+			}
+			if len(gotKT) != len(wantKT) {
+				t.Fatalf("ktruss: %d edges, want %d", len(gotKT), len(wantKT))
+			}
+			inTruss := make(map[[2]graph.VID]bool, len(wantKT))
+			for _, e := range wantKT {
+				inTruss[e] = true
+			}
+			for _, e := range gotKT {
+				if !inTruss[e] {
+					t.Fatalf("ktruss: edge %v not in fault-free truss", e)
+				}
+			}
+			checkCol("ktruss", colKT)
 		})
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	flashrun -algo bfs -gen rmat -n 10000 -m 80000 [-workers 4] [-root 0]
 //	flashrun -algo cc -input edges.txt
+//	flashrun -algo cc -gen rmat -workers 2 -resize-at 3 -resize-to 8
 //
 // Algorithms: bfs, cc, ccopt, bc, mis, mm, mmopt, kc, kcopt, tc, gc, scc,
 // bcc, lpa, msf, rc, cl, sssp, pagerank.
@@ -53,6 +54,8 @@ func main() {
 		delayProb    = flag.Float64("delay-prob", 0.05, "chaos: per-frame delay-to-end-of-round probability")
 		killWorker   = flag.Int("kill-worker", -1, "hard-kill this worker permanently mid-run (cold restart needs -checkpoint-every and -heartbeat-every)")
 		killRound    = flag.Int("kill-round", 3, "transport round at which -kill-worker dies")
+		resizeAt     = flag.Int("resize-at", 0, "superstep after which the engine resizes to -resize-to workers (0 disables)")
+		resizeTo     = flag.Int("resize-to", 0, "target worker count for -resize-at")
 	)
 	flag.Parse()
 
@@ -109,6 +112,14 @@ func main() {
 	}
 	if usePlan {
 		opts = append(opts, flash.WithFaultPlan(plan))
+	}
+	if *resizeAt > 0 {
+		if *resizeTo < 1 {
+			fmt.Fprintln(os.Stderr, "flashrun: -resize-at needs -resize-to >= 1")
+			os.Exit(1)
+		}
+		opts = append(opts, flash.WithResizePolicy(
+			flash.SchedulePolicy(map[int]int{*resizeAt: *resizeTo})))
 	}
 
 	start := time.Now()

@@ -138,6 +138,18 @@ type WorkerKill = comm.WorkerKill
 // exercising the receive-side frame-integrity path.
 type FrameCorrupt = comm.FrameCorrupt
 
+// ResizeKill scripts a permanent worker death inside the Phase-th migration
+// window of a membership resize, exercising mid-migration rollback.
+type ResizeKill = comm.ResizeKill
+
+// ResizeFrameCorrupt scripts a single-bit flip in a migration frame,
+// exercising the FLASHCKP container's CRC rejection during a resize.
+type ResizeFrameCorrupt = comm.ResizeFrameCorrupt
+
+// ResizeFrameDelay holds a worker's migration frames back to the end of the
+// migration round.
+type ResizeFrameDelay = comm.ResizeFrameDelay
+
 // CheckpointStore persists engine checkpoint images; see WithCheckpointStore.
 type CheckpointStore = core.CheckpointStore
 
@@ -157,7 +169,13 @@ var (
 	// ErrCorrupt: a frame failed its integrity check (CRC mismatch or
 	// undecodable payload).
 	ErrCorrupt = comm.ErrCorrupt
+	// ErrEngineClosed: the operation raced or followed Engine.Close.
+	ErrEngineClosed = core.ErrEngineClosed
 )
+
+// ConfigError reports an invalid engine option value (returned by NewEngine
+// and Resize; match with errors.As).
+type ConfigError = core.ConfigError
 
 // NewMemCheckpointStore returns the default in-memory checkpoint store.
 func NewMemCheckpointStore() CheckpointStore { return core.NewMemStore() }
@@ -224,6 +242,51 @@ func WithRetryBackoff(d time.Duration) Option { return func(c *core.Config) { c.
 // the recovery machinery.
 func WithFaultPlan(p FaultPlan) Option { return func(c *core.Config) { c.FaultPlan = &p } }
 
+// ---- elastic membership ----
+
+// StepInfo is the per-superstep snapshot handed to a ResizePolicy: supersteps
+// completed, the frontier size the step produced, the current worker count,
+// and the graph's vertex count.
+type StepInfo = core.StepInfo
+
+// ResizePolicy decides the desired worker count after each superstep;
+// returning 0 (or the current count) keeps the membership unchanged. See
+// WithResizePolicy, DensityPolicy and SchedulePolicy.
+type ResizePolicy = core.ResizePolicy
+
+// WithResizePolicy consults policy after every successful superstep and
+// resizes the engine at the barrier when it asks for a different worker
+// count. Combine with WithCheckpointEvery so a failed migration rolls back
+// to a durable image. The default transports support resize; a custom
+// WithTransport must implement comm.Resizer.
+func WithResizePolicy(policy ResizePolicy) Option {
+	return func(c *core.Config) { c.ResizePolicy = policy }
+}
+
+// DensityPolicy returns a frontier-density-driven ResizePolicy: scale out to
+// maxWorkers while the frontier is dense (≥ 1/8 of the vertices), scale in
+// to minWorkers when it is sparse (≤ 1/64), and keep the current membership
+// in between — the hysteresis band stops resize thrash on the way down.
+func DensityPolicy(minWorkers, maxWorkers int) ResizePolicy {
+	return func(s StepInfo) int {
+		switch {
+		case s.Frontier*8 >= s.Vertices:
+			return maxWorkers
+		case s.Frontier*64 <= s.Vertices:
+			return minWorkers
+		default:
+			return 0
+		}
+	}
+}
+
+// SchedulePolicy returns a ResizePolicy driven by an explicit superstep →
+// worker-count table (resize after the given superstep count has completed).
+// Supersteps absent from the table keep the current membership.
+func SchedulePolicy(schedule map[int]int) ResizePolicy {
+	return func(s StepInfo) int { return schedule[s.Superstep] }
+}
+
 // Engine runs FLASH programs over one property type V (a flat struct; see
 // comm.Codec for the supported field kinds).
 type Engine[V any] struct {
@@ -252,6 +315,14 @@ func (e *Engine[V]) Graph() *graph.Graph { return e.c.Graph() }
 
 // Workers returns the worker count.
 func (e *Engine[V]) Workers() int { return e.c.Workers() }
+
+// Resize changes the worker count to n at the current superstep barrier,
+// migrating master state between the old and new partitions and rebuilding
+// mirrors. Output is byte-identical to a run that used n workers throughout.
+// With checkpointing enabled the resize is crash-safe: a failure
+// mid-migration rolls back to the pre-resize image and retries under the
+// MaxRecoveries budget. VertexSubsets held across a resize remain valid.
+func (e *Engine[V]) Resize(n int) error { return e.c.Resize(n) }
 
 // Metrics returns the runtime metrics collector.
 func (e *Engine[V]) Metrics() *metrics.Collector { return e.c.Metrics() }

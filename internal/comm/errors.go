@@ -111,3 +111,23 @@ type EndpointCloser interface {
 type Reviver interface {
 	Revive(w int)
 }
+
+// Resizer is implemented by transports that support planned membership
+// changes. Resize reconfigures the transport for n workers under a fresh
+// membership epoch: queues, stashes, round counters and any abort poison are
+// reset, and endpoints are created or retired to match the new count. The
+// caller must have quiesced every worker first (no transport call in
+// flight); stale frames of the old membership that surface later are
+// discarded by Drain's epoch check.
+type Resizer interface {
+	Resize(n int) error
+}
+
+// ResizePhaser is implemented by fault-injecting transports (the Faulty
+// wrapper): the engine brackets a resize's migration exchange with
+// ResizePhase(true)/ResizePhase(false), so resize-scoped faults (kills,
+// corrupt or delayed migration frames) fire exactly inside the window they
+// script. Each armed window advances the phase ordinal the scripts key on.
+type ResizePhaser interface {
+	ResizePhase(active bool)
+}

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -54,6 +55,17 @@ type FaultPlan struct {
 	CorruptProb float64
 	// MaxCorrupts caps the probabilistic corruptions (0 = unlimited).
 	MaxCorrupts int
+	// ResizeKills hard-kills workers during a membership-resize migration
+	// phase (the engine brackets each migration exchange with ResizePhase),
+	// exercising mid-migration rollback to the pre-resize image.
+	ResizeKills []ResizeKill
+	// ResizeCorrupts flips one seeded bit in a migration frame, exercising
+	// the FLASHCKP container's CRC rejection on the receive side.
+	ResizeCorrupts []ResizeFrameCorrupt
+	// ResizeDelays holds a worker's migration frames back until its
+	// end-of-round marker, delivering them late (and reordered under
+	// Reorder) without violating the round boundary.
+	ResizeDelays []ResizeFrameDelay
 }
 
 // ConnDrop scripts a transient drop of the From→To direction starting at the
@@ -94,6 +106,30 @@ type FrameCorrupt struct {
 	Round    uint32
 }
 
+// ResizeKill scripts the permanent death of worker Worker at its first
+// transport operation (send, end-of-round or heartbeat) inside the Phase-th
+// migration window (0-indexed). Each ResizePhase(true) bracket counts as one
+// phase, so a resize retried after a rollback advances the ordinal — the
+// one-shot script does not re-fire against the retry.
+type ResizeKill struct {
+	Worker int
+	Phase  int
+}
+
+// ResizeFrameCorrupt scripts one single-bit flip in the next migration frame
+// sent From→To inside the Phase-th migration window.
+type ResizeFrameCorrupt struct {
+	From, To int
+	Phase    int
+}
+
+// ResizeFrameDelay holds every migration frame Worker sends inside the
+// Phase-th migration window back until its end-of-round marker.
+type ResizeFrameDelay struct {
+	Worker int
+	Phase  int
+}
+
 // FaultCounts reports how many faults a Faulty transport has injected.
 type FaultCounts struct {
 	SendFails int
@@ -124,6 +160,15 @@ type Faulty struct {
 	corrupts []FrameCorrupt
 	killed   []bool // permanent death flags; survive Reset, cleared by Revive
 	counts   FaultCounts
+
+	// Resize-scoped fault state: inResize is armed by ResizePhase and
+	// resizePhase counts the migration windows seen so far (-1 before the
+	// first), keying the one-shot resize scripts.
+	inResize       bool
+	resizePhase    int
+	resizeKills    []ResizeKill
+	resizeCorrupts []ResizeFrameCorrupt
+	resizeDelays   []ResizeFrameDelay
 }
 
 // heldFrame is a delayed frame awaiting delivery at its sender's EndRound.
@@ -156,6 +201,10 @@ func NewFaulty(inner Transport, plan FaultPlan) *Faulty {
 	f.kills = append([]WorkerKill(nil), plan.Kills...)
 	f.corrupts = append([]FrameCorrupt(nil), plan.Corrupts...)
 	f.killed = make([]bool, m)
+	f.resizePhase = -1
+	f.resizeKills = append([]ResizeKill(nil), plan.ResizeKills...)
+	f.resizeCorrupts = append([]ResizeFrameCorrupt(nil), plan.ResizeCorrupts...)
+	f.resizeDelays = append([]ResizeFrameDelay(nil), plan.ResizeDelays...)
 	return f
 }
 
@@ -191,15 +240,29 @@ func (f *Faulty) killLocked(from int, r uint32) error {
 	for i, k := range f.kills {
 		if k.Worker == from && r >= k.Round {
 			f.kills = append(f.kills[:i], f.kills[i+1:]...)
-			f.killed[from] = true
-			f.counts.Kills++
-			if ec, ok := f.inner.(EndpointCloser); ok {
-				ec.CloseEndpoint(from, &KillError{Worker: from})
+			return f.fireKillLocked(from)
+		}
+	}
+	if f.inResize {
+		for i, k := range f.resizeKills {
+			if k.Worker == from && k.Phase == f.resizePhase {
+				f.resizeKills = append(f.resizeKills[:i], f.resizeKills[i+1:]...)
+				return f.fireKillLocked(from)
 			}
-			return &KillError{Worker: from}
 		}
 	}
 	return nil
+}
+
+// fireKillLocked marks from permanently dead and tears its receive endpoint
+// down for real when the inner transport supports it.
+func (f *Faulty) fireKillLocked(from int) error {
+	f.killed[from] = true
+	f.counts.Kills++
+	if ec, ok := f.inner.(EndpointCloser); ok {
+		ec.CloseEndpoint(from, &KillError{Worker: from})
+	}
+	return &KillError{Worker: from}
 }
 
 // corruptLocked applies a scripted or probabilistic single-bit flip to data.
@@ -213,6 +276,15 @@ func (f *Faulty) corruptLocked(from, to int, r uint32, data []byte) {
 			f.corrupts = append(f.corrupts[:i], f.corrupts[i+1:]...)
 			hit = true
 			break
+		}
+	}
+	if !hit && f.inResize {
+		for i, c := range f.resizeCorrupts {
+			if c.From == from && c.To == to && c.Phase == f.resizePhase {
+				f.resizeCorrupts = append(f.resizeCorrupts[:i], f.resizeCorrupts[i+1:]...)
+				hit = true
+				break
+			}
 		}
 	}
 	if !hit && f.plan.CorruptProb > 0 &&
@@ -259,6 +331,16 @@ func (f *Faulty) Send(from, to int, data []byte) error {
 		return Transient(ErrConnDropped)
 	}
 	f.corruptLocked(from, to, r, data)
+	if f.inResize {
+		for _, d := range f.resizeDelays {
+			if d.Worker == from && d.Phase == f.resizePhase {
+				f.counts.Delays++
+				f.held[from] = append(f.held[from], heldFrame{to: to, data: data})
+				f.mu.Unlock()
+				return nil // delivered at EndRound
+			}
+		}
+	}
 	if p := f.plan.DelayProb; p > 0 && rng.Float64() < p {
 		f.counts.Delays++
 		f.held[from] = append(f.held[from], heldFrame{to: to, data: data})
@@ -334,6 +416,50 @@ func (f *Faulty) Revive(w int) {
 	f.mu.Lock()
 	f.killed[w] = false
 	f.mu.Unlock()
+}
+
+// ResizePhase brackets a membership-resize migration exchange. Arming a
+// window advances the phase ordinal the resize-scoped scripts key on, so a
+// retried resize runs under the next ordinal and a consumed one-shot fault
+// cannot re-fire against the retry.
+func (f *Faulty) ResizePhase(active bool) {
+	f.mu.Lock()
+	if active && !f.inResize {
+		f.resizePhase++
+	}
+	f.inResize = active
+	f.mu.Unlock()
+	if rp, ok := f.inner.(ResizePhaser); ok {
+		rp.ResizePhase(active)
+	}
+}
+
+// Resize grows or shrinks the wrapper's per-worker fault state alongside the
+// inner transport. Joining workers get fresh PRNGs seeded Seed+i, so fault
+// schedules stay deterministic across membership changes; surviving workers'
+// killed flags persist (only Revive clears a death) and round counters
+// restart at 0, mirroring the inner transport's fresh epoch.
+func (f *Faulty) Resize(n int) error {
+	rz, ok := f.inner.(Resizer)
+	if !ok {
+		return fmt.Errorf("comm: wrapped transport %T does not support resize", f.inner)
+	}
+	f.mu.Lock()
+	old := len(f.rng)
+	rng := make([]*rand.Rand, n)
+	killed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i < old {
+			rng[i], killed[i] = f.rng[i], f.killed[i]
+		} else {
+			rng[i] = rand.New(rand.NewSource(f.plan.Seed + int64(i)))
+		}
+	}
+	f.rng, f.killed = rng, killed
+	f.round = make([]uint32, n)
+	f.held = make([][]heldFrame, n)
+	f.mu.Unlock()
+	return rz.Resize(n)
 }
 
 func (f *Faulty) Abort(err error) { f.inner.Abort(err) }

@@ -1,0 +1,219 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestMemResizeExchange grows and shrinks a Mem transport and verifies the
+// full exchange contract holds at every membership size.
+func TestMemResizeExchange(t *testing.T) {
+	tr := NewMem(2)
+	runRounds(t, tr, 2, 2)
+	if err := tr.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, tr, 5, 2)
+	if err := tr.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, tr, 3, 2)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPResizeExchange does the same over the loopback mesh: old sockets are
+// torn down, the mesh is re-dialed at the new size, and rounds keep working.
+func TestTCPResizeExchange(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, tr, 2, 2)
+	if err := tr.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, tr, 4, 2)
+	if err := tr.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, tr, 3, 2)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeRejectsNonPositive(t *testing.T) {
+	tr := NewMem(2)
+	defer tr.Close()
+	if err := tr.Resize(0); err == nil {
+		t.Fatal("Mem.Resize(0) succeeded")
+	}
+	tcp, err := NewTCP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	if err := tcp.Resize(0); err == nil {
+		t.Fatal("TCP.Resize(0) succeeded")
+	}
+}
+
+// TestMemResizeClearsAbortPoison: a resize starts a fresh membership epoch,
+// so abort poison from the old membership must not leak into it.
+func TestMemResizeClearsAbortPoison(t *testing.T) {
+	tr := NewMem(2)
+	defer tr.Close()
+	tr.Abort(errors.New("boom"))
+	if err := tr.EndRound(0); err == nil {
+		t.Fatal("EndRound after Abort succeeded")
+	}
+	if err := tr.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, tr, 3, 1)
+}
+
+// TestFaultyResizeKillFiresOnlyInItsPhase: a ResizeKill must stay dormant
+// outside migration windows, fire exactly once inside its scripted phase,
+// and stay consumed for the retry phase.
+func TestFaultyResizeKillFiresOnlyInItsPhase(t *testing.T) {
+	tr := NewFaulty(NewMem(3), FaultPlan{ResizeKills: []ResizeKill{{Worker: 1, Phase: 0}}})
+	defer tr.Close()
+	// Outside any migration window the kill is dormant.
+	if err := tr.Send(1, 0, []byte("x")); err != nil {
+		t.Fatalf("send outside resize window: %v", err)
+	}
+	tr.ResizePhase(true) // phase 0 arms
+	var ke *KillError
+	if err := tr.Send(1, 0, []byte("x")); !errors.As(err, &ke) || ke.Worker != 1 {
+		t.Fatalf("send in phase 0: err=%v, want KillError{Worker: 1}", err)
+	}
+	// Dead stays dead within the window.
+	if err := tr.EndRound(1); !errors.As(err, &ke) {
+		t.Fatalf("endround after kill: %v", err)
+	}
+	tr.ResizePhase(false)
+	tr.Revive(1)
+	tr.Reset()
+	tr.ResizePhase(true) // phase 1: script consumed, retry must run clean
+	if err := tr.Send(1, 0, []byte("x")); err != nil {
+		t.Fatalf("send in retry phase: %v", err)
+	}
+	tr.ResizePhase(false)
+	if c := tr.Counts(); c.Kills != 1 {
+		t.Fatalf("kills=%d want 1", c.Kills)
+	}
+}
+
+// TestFaultyResizeCorruptFlipsMigrationFrame: the scripted flip must hit a
+// frame sent inside the migration window and leave later phases clean.
+func TestFaultyResizeCorruptFlipsMigrationFrame(t *testing.T) {
+	tr := NewFaulty(NewMem(2), FaultPlan{Seed: 11, ResizeCorrupts: []ResizeFrameCorrupt{{From: 0, To: 1, Phase: 0}}})
+	defer tr.Close()
+	orig := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	tr.ResizePhase(true)
+	payload := append([]byte(nil), orig...)
+	if err := tr.Send(0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	tr.ResizePhase(false)
+	tr.EndRound(0)
+	tr.EndRound(1)
+	var got []byte
+	tr.Drain(1, func(from int, data []byte) { got = append([]byte(nil), data...) })
+	tr.Drain(0, func(int, []byte) {})
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt frame differs in %d bytes, want exactly 1 (got=%x orig=%x)", diff, got, orig)
+	}
+	if c := tr.Counts(); c.Corrupts != 1 {
+		t.Fatalf("corrupts=%d want 1", c.Corrupts)
+	}
+}
+
+// TestFaultyResizeDelayHoldsUntilEndRound: delayed migration frames must
+// still arrive within the round (flushed before the end-of-round marker).
+func TestFaultyResizeDelayHoldsUntilEndRound(t *testing.T) {
+	tr := NewFaulty(NewMem(2), FaultPlan{ResizeDelays: []ResizeFrameDelay{{Worker: 0, Phase: 0}}})
+	defer tr.Close()
+	tr.ResizePhase(true)
+	for i := 0; i < 3; i++ {
+		if err := tr.Send(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.EndRound(0); err != nil {
+		t.Fatal(err)
+	}
+	tr.ResizePhase(false)
+	if err := tr.EndRound(1); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[byte]bool{}
+	if err := tr.Drain(1, func(from int, data []byte) { seen[data[0]] = true }); err != nil {
+		t.Fatal(err)
+	}
+	tr.Drain(0, func(int, []byte) {})
+	if len(seen) != 3 {
+		t.Fatalf("got %d distinct frames, want 3", len(seen))
+	}
+	if c := tr.Counts(); c.Delays != 3 {
+		t.Fatalf("delays=%d want 3", c.Delays)
+	}
+}
+
+// TestFaultyResizeGrowsFaultState: after Faulty.Resize the wrapper's
+// per-worker state covers the new members and survivors keep their flags.
+func TestFaultyResizeGrowsFaultState(t *testing.T) {
+	tr := NewFaulty(NewMem(2), FaultPlan{Kills: []WorkerKill{{Worker: 1, Round: 0}}})
+	defer tr.Close()
+	var ke *KillError
+	if err := tr.Send(1, 0, []byte("x")); !errors.As(err, &ke) {
+		t.Fatalf("scripted kill did not fire: %v", err)
+	}
+	if err := tr.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1's death survives the resize; new workers are alive.
+	if err := tr.Send(1, 0, []byte("x")); !errors.As(err, &ke) {
+		t.Fatalf("killed flag lost across resize: %v", err)
+	}
+	if err := tr.Send(3, 2, []byte("x")); err != nil {
+		t.Fatalf("new worker send: %v", err)
+	}
+	tr.Revive(1)
+	tr.Reset()
+	runRounds(t, tr, 4, 1)
+}
+
+// TestFaultyResizeUnsupportedInner: a wrapped transport without Resize
+// support must surface a terminal error, not panic.
+func TestFaultyResizeUnsupportedInner(t *testing.T) {
+	tr := NewFaulty(fixedTransport{NewMem(2)}, FaultPlan{})
+	if err := tr.Resize(3); err == nil {
+		t.Fatal("Resize over non-Resizer inner succeeded")
+	}
+}
+
+// fixedTransport hides Mem's Resize method, modeling a transport that cannot
+// change membership.
+type fixedTransport struct{ m *Mem }
+
+func (f fixedTransport) Workers() int                                 { return f.m.Workers() }
+func (f fixedTransport) Send(from, to int, data []byte) error         { return f.m.Send(from, to, data) }
+func (f fixedTransport) EndRound(from int) error                      { return f.m.EndRound(from) }
+func (f fixedTransport) Drain(to int, h func(int, []byte)) error      { return f.m.Drain(to, h) }
+func (f fixedTransport) Heartbeat(from int) error                     { return f.m.Heartbeat(from) }
+func (f fixedTransport) Abort(err error)                              { f.m.Abort(err) }
+func (f fixedTransport) Reset()                                       { f.m.Reset() }
+func (f fixedTransport) SetDrainTimeout(d time.Duration)              { f.m.SetDrainTimeout(d) }
+func (f fixedTransport) Stats() Stats                                 { return f.m.Stats() }
+func (f fixedTransport) Close() error                                 { return f.m.Close() }

@@ -78,6 +78,12 @@ type TCP struct {
 	setupDone  atomic.Bool
 	closed     atomic.Bool
 
+	// ioWG tracks the current mesh's accept loops, handshake goroutines and
+	// read loops. Resize joins them all after closing the old sockets, so no
+	// stale goroutine can touch the hub while it is being reconfigured for a
+	// different worker count.
+	ioWG sync.WaitGroup
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -133,6 +139,19 @@ func (tc *tcpConn) replace(c net.Conn) {
 // deadlock in wg.Wait).
 func NewTCP(m int) (*TCP, error) {
 	t := &TCP{m: m, hub: NewMem(m), errs: make(chan error, 64)}
+	if err := t.setupMesh(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	t.setupDone.Store(true)
+	return t, nil
+}
+
+// setupMesh listens, dials and installs the full t.m × t.m loopback mesh.
+// Used at construction and after a membership resize; the caller flips
+// setupDone once the mesh is live.
+func (t *TCP) setupMesh() error {
+	m := t.m
 	t.conns = make([][]*tcpConn, m)
 	for i := range t.conns {
 		t.conns[i] = make([]*tcpConn, m)
@@ -141,8 +160,7 @@ func NewTCP(m int) (*TCP, error) {
 	for i := 0; i < m; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("comm: listen for worker %d: %w", i, err)
+			return fmt.Errorf("comm: listen for worker %d: %w", i, err)
 		}
 		t.lns[i] = ln
 	}
@@ -162,7 +180,12 @@ func NewTCP(m int) (*TCP, error) {
 	// reconnects, and exit when their listener is closed.
 	accepted := make(chan error, m*m)
 	for i := 0; i < m; i++ {
-		go t.acceptLoop(i, accepted)
+		i := i
+		t.ioWG.Add(1)
+		go func() {
+			defer t.ioWG.Done()
+			t.acceptLoop(i, accepted)
+		}()
 	}
 	// Worker j dials workers i < j; one socket serves the pair full-duplex.
 	var dialErr error
@@ -181,22 +204,28 @@ dial:
 				break dial
 			}
 			tc.replace(c)
-			go t.readLoop(j, i, c)
+			t.startReadLoop(j, i, c)
 		}
 	}
 	if dialErr != nil {
-		t.Close() // closes listeners; accept loops exit instead of blocking
-		return nil, fmt.Errorf("comm: tcp mesh setup: %w", dialErr)
+		return fmt.Errorf("comm: tcp mesh setup: %w", dialErr)
 	}
 	// Wait until every dialed socket has been accepted and installed.
 	for k := 0; k < m*(m-1)/2; k++ {
 		if err := <-accepted; err != nil {
-			t.Close()
-			return nil, fmt.Errorf("comm: tcp mesh setup: %w", err)
+			return fmt.Errorf("comm: tcp mesh setup: %w", err)
 		}
 	}
-	t.setupDone.Store(true)
-	return t, nil
+	return nil
+}
+
+// startReadLoop launches an ioWG-tracked read loop for the from←peer socket.
+func (t *TCP) startReadLoop(me, peer int, c net.Conn) {
+	t.ioWG.Add(1)
+	go func() {
+		defer t.ioWG.Done()
+		t.readLoop(me, peer, c)
+	}()
 }
 
 // acceptLoop accepts connections for worker me until the listener closes.
@@ -214,8 +243,14 @@ func (t *TCP) acceptLoop(me int, accepted chan<- error) {
 			}
 			return
 		}
+		t.ioWG.Add(1)
 		go func() {
+			defer t.ioWG.Done()
 			var hello [4]byte
+			// Bound the hello wait: an accepted socket whose dialer died
+			// before identifying itself must not park this goroutine forever
+			// (Resize joins the mesh's goroutines before rebuilding).
+			c.SetReadDeadline(time.Now().Add(10 * time.Second))
 			if _, err := io.ReadFull(c, hello[:]); err != nil {
 				c.Close()
 				if !t.setupDone.Load() {
@@ -226,6 +261,7 @@ func (t *TCP) acceptLoop(me int, accepted chan<- error) {
 				}
 				return
 			}
+			c.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(hello[:]))
 			if peer < 0 || peer >= t.m || peer == me {
 				c.Close()
@@ -233,7 +269,7 @@ func (t *TCP) acceptLoop(me int, accepted chan<- error) {
 				return
 			}
 			t.conns[me][peer].replace(c)
-			go t.readLoop(me, peer, c)
+			t.startReadLoop(me, peer, c)
 			if !t.setupDone.Load() {
 				select {
 				case accepted <- nil:
@@ -438,7 +474,7 @@ func (t *TCP) reconnect(from, to int) error {
 		return err
 	}
 	tc.replace(c)
-	go t.readLoop(from, to, c)
+	t.startReadLoop(from, to, c)
 	return nil
 }
 
@@ -451,6 +487,58 @@ func (t *TCP) Abort(err error) { t.hub.Abort(err) }
 // a superstep has fully aborted: every worker has stopped sending and the
 // buffered writers were flushed or their sockets replaced.
 func (t *TCP) Reset() { t.hub.Reset() }
+
+// Resize tears the current mesh down and rebuilds a full loopback mesh for n
+// workers under a fresh membership epoch: joining workers get listeners and
+// sockets, departing workers' endpoints are retired with their connections.
+// The caller must have quiesced every worker (no send, drain or heartbeat in
+// flight). Cumulative stats survive the rebuild.
+func (t *TCP) Resize(n int) error {
+	if t.closed.Load() {
+		return net.ErrClosed
+	}
+	if n < 1 {
+		return fmt.Errorf("comm: resize to %d workers", n)
+	}
+	t.setupDone.Store(false)
+	t.teardownMesh()
+	if err := t.hub.Resize(n); err != nil {
+		return err
+	}
+	t.m = n
+	if err := t.setupMesh(); err != nil {
+		// Leave the half-built mesh for Close to reap; the transport is
+		// unusable until a successful Resize.
+		return err
+	}
+	t.setupDone.Store(true)
+	return nil
+}
+
+// teardownMesh closes every listener and socket of the current mesh and
+// joins its accept, handshake and read goroutines, so nothing stale can
+// touch the hub while it is resized.
+func (t *TCP) teardownMesh() {
+	for _, ln := range t.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, row := range t.conns {
+		for _, tc := range row {
+			if tc == nil {
+				continue
+			}
+			tc.mu.Lock()
+			if tc.c != nil {
+				tc.c.Close()
+				tc.c = nil
+			}
+			tc.mu.Unlock()
+		}
+	}
+	t.ioWG.Wait()
+}
 
 func (t *TCP) SetDrainTimeout(d time.Duration) { t.hub.SetDrainTimeout(d) }
 

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -367,10 +368,13 @@ func (t *Mem) Abort(err error) {
 	if t.abortErr == nil {
 		t.abortErr = err
 	}
-	t.abortMu.Unlock()
+	// Poison under abortMu: Abort is the one call allowed to race a
+	// concurrent Resize (Engine.Close fires it while a membership change is
+	// reconfiguring the mailbox slices), so both serialize on abortMu.
 	for _, b := range t.boxes {
 		b.poison(err)
 	}
+	t.abortMu.Unlock()
 }
 
 func (t *Mem) Reset() {
@@ -390,6 +394,53 @@ func (t *Mem) Reset() {
 		// window before it can be declared dead again.
 		t.alive[i].Store(now)
 	}
+}
+
+// Resize reconfigures the transport for n workers: a fresh membership epoch,
+// fresh mailboxes, stashes and round counters sized for the new worker set,
+// and a clean abort/liveness slate. The caller must guarantee no worker is
+// inside a transport call (quiesced at a barrier); any in-flight frame of the
+// old membership that surfaces later is discarded by Drain's epoch check.
+// Cumulative Stats counters survive.
+func (t *Mem) Resize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("comm: resize to %d workers", n)
+	}
+	// The whole reconfiguration runs under abortMu: every other transport
+	// call is quiesced by contract, but an asynchronous Abort (Engine.Close)
+	// may land mid-resize and must see either the old or the new mailbox set,
+	// never a half-swapped one.
+	t.abortMu.Lock()
+	defer t.abortMu.Unlock()
+	t.abortErr = nil
+	t.epoch.Add(1)
+	now := time.Now().UnixNano()
+	old := t.m
+	t.m = n
+	t.boxes = make([]*mailbox, n)
+	t.rounds = make([]atomic.Uint32, n)
+	t.recvRd = make([]uint32, n)
+	t.stash = make([][]frame, n)
+	t.marks = make([][]bool, n)
+	alive := make([]atomic.Int64, n)
+	hbOn := make([]atomic.Bool, n)
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+		t.marks[i] = make([]bool, n)
+		// Fresh liveness slate: every member of the new set gets a full
+		// timeout window before it can be declared dead.
+		alive[i].Store(now)
+		// Heartbeat arming carries over for surviving workers (like Reset):
+		// a worker that announced liveness in the old epoch and then falls
+		// silent in the new one must still be classifiable as dead, even if
+		// it dies before its first heartbeat of the new epoch.
+		if i < old {
+			hbOn[i].Store(t.hbOn[i].Load())
+		}
+	}
+	t.alive = alive
+	t.hbOn = hbOn
+	return nil
 }
 
 func (t *Mem) SetDrainTimeout(d time.Duration) { t.timeout.Store(int64(d)) }

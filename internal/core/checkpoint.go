@@ -55,6 +55,12 @@ type RunResult struct {
 	Restarts        uint64
 	CheckpointBytes uint64
 	RecoveryTime    time.Duration
+	// Resizes counts completed membership changes, MigratedBytes the master
+	// state shipped between partitions during their migration rounds, and
+	// ResizeTime the wall time the run spent paused at resize barriers.
+	Resizes       uint64
+	MigratedBytes uint64
+	ResizeTime    time.Duration
 }
 
 // Run executes a FLASH driver program with the engine's fault-tolerance
@@ -68,6 +74,10 @@ func (e *Engine[V]) Run(program func() error) (res RunResult, err error) {
 	if e.failed != nil {
 		return e.runResult(), e.failed
 	}
+	if err := e.beginOp(); err != nil {
+		return e.runResult(), err
+	}
+	defer e.endOp()
 	defer func() {
 		res = e.runResult()
 		if r := recover(); r != nil {
@@ -94,6 +104,9 @@ func (e *Engine[V]) runResult() RunResult {
 		Restarts:        e.met.Restarts,
 		CheckpointBytes: e.met.CheckpointBytes,
 		RecoveryTime:    e.met.RecoveryTime,
+		Resizes:         e.met.Resizes,
+		MigratedBytes:   e.met.MigratedBytes,
+		ResizeTime:      e.met.ResizeTime,
 	}
 }
 
@@ -122,6 +135,13 @@ func (e *Engine[V]) Err() error { return e.failed }
 func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
 	if e.failed != nil {
 		panic(runtimeFailure{fmt.Errorf("core: engine already failed: %w", e.failed)})
+	}
+	if e.isClosed() {
+		// Covers programs whose steps never touch the transport (NoSync-only):
+		// the Close-side abort broadcast cannot reach them, so the barrier
+		// checks the flag directly.
+		e.failed = ErrEngineClosed
+		panic(runtimeFailure{ErrEngineClosed})
 	}
 	ckptOn := e.cfg.CheckpointEvery > 0
 	if ckptOn && !e.hasCkpt {
@@ -161,6 +181,24 @@ func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
 			}
 		}
 	}
+	// The resize policy runs after the step has fully committed (output
+	// recounted, checkpoint taken): a membership change here is a pure
+	// barrier event, and the subsets the driver holds remap lazily on next
+	// use.
+	if pol := e.cfg.ResizePolicy; pol != nil {
+		want := pol(StepInfo{
+			Superstep: e.met.Supersteps,
+			Frontier:  out.Size(),
+			Workers:   e.cfg.Workers,
+			Vertices:  e.g.NumVertices(),
+		})
+		if want > 0 && want != e.cfg.Workers {
+			if err := e.Resize(want); err != nil {
+				e.failed = err
+				panic(runtimeFailure{err})
+			}
+		}
+	}
 	return out
 }
 
@@ -171,6 +209,10 @@ func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
 func (e *Engine[V]) canRecover(err error) bool {
 	var wp *workerPanic
 	if errors.As(err, &wp) {
+		return false
+	}
+	if errors.Is(err, ErrEngineClosed) {
+		// The user tore the engine down; replaying the run would fight Close.
 		return false
 	}
 	return e.cfg.CheckpointEvery > 0 && e.hasCkpt && e.recoveries < e.cfg.MaxRecoveries

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"flash/graph"
+)
+
+// TestCloseIdempotent: Close twice sequentially; both succeed, and the
+// engine rejects further work with ErrEngineClosed.
+func TestCloseIdempotent(t *testing.T) {
+	e := mustEngine(t, graph.GenPath(32), Config{Workers: 2})
+	if err := e.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Run(func() error { return nil }); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Run after Close: got %v, want ErrEngineClosed", err)
+	}
+	if err := e.Resize(3); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Resize after Close: got %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestCloseConcurrent: many racing Close calls; every one returns nil and
+// every one returns only after teardown finished.
+func TestCloseConcurrent(t *testing.T) {
+	e := mustEngine(t, graph.GenPath(32), Config{Workers: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseDuringRun: Close while a program is mid-run. The run must unwind
+// promptly with ErrEngineClosed (not deadlock in an exchange barrier), and
+// Close must not return before the run has drained.
+func TestCloseDuringRun(t *testing.T) {
+	e := mustEngine(t, graph.GenPath(256), Config{Workers: 2})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(func() error {
+			close(started)
+			for { // spin supersteps until Close unwinds the step
+				e.VertexMap(e.All(), nil, func(v Vtx[bfsProps]) bfsProps {
+					return bfsProps{Dis: v.Val.Dis + 1}
+				}, StepOpts{})
+			}
+		})
+		done <- err
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond)
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close during run: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrEngineClosed) {
+			t.Fatalf("interrupted Run returned %v, want ErrEngineClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not unwind after Close")
+	}
+}
+
+// TestCloseDuringResize: Close racing a loop of membership changes. The
+// resize in flight when Close lands must fail with ErrEngineClosed instead
+// of deadlocking in the migration round.
+func TestCloseDuringResize(t *testing.T) {
+	e := mustEngine(t, graph.GenPath(256), Config{Workers: 2})
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for err == nil {
+			if err = e.Resize(3); err == nil {
+				err = e.Resize(2)
+			}
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close during resize: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrEngineClosed) {
+			t.Fatalf("interrupted Resize returned %v, want ErrEngineClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Resize loop did not unwind after Close")
+	}
+}

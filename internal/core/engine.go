@@ -118,7 +118,44 @@ type Config struct {
 	// FaultPlan, when non-nil, wraps the transport with comm.NewFaulty for
 	// deterministic fault injection (chaos testing).
 	FaultPlan *comm.FaultPlan
+	// ResizePolicy, when non-nil, is consulted after every successful
+	// superstep; returning a worker count different from the current one
+	// triggers an automatic Engine.Resize at the barrier. Requires a transport
+	// that implements comm.Resizer and checkpointing for crash-safe migration.
+	ResizePolicy ResizePolicy
 }
+
+// StepInfo is the per-superstep snapshot handed to a ResizePolicy.
+type StepInfo struct {
+	// Superstep is the number of supersteps completed so far.
+	Superstep int
+	// Frontier is the active-vertex count produced by the step just finished.
+	Frontier int
+	// Workers is the current membership size.
+	Workers int
+	// Vertices is the graph's vertex count.
+	Vertices int
+}
+
+// ResizePolicy decides the desired worker count after a superstep. Returning
+// 0 (or the current count) keeps the membership unchanged.
+type ResizePolicy func(StepInfo) int
+
+// ConfigError reports an invalid Engine configuration value. It is returned
+// by NewEngine (and Resize) instead of letting a bad value hang a barrier or
+// silently misbehave at runtime.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// ErrEngineClosed is returned by operations racing or following Engine.Close.
+// It is terminal: recovery never retries a run the user tore down.
+var ErrEngineClosed = errors.New("core: engine closed")
 
 // DefaultDrainTimeout is the superstep deadline applied when Config leaves
 // DrainTimeout zero: generous enough that no healthy exchange ever trips it,
@@ -158,26 +195,34 @@ func (c *Config) fillDefaults() {
 
 func (c *Config) validate() error {
 	if c.Workers < 1 {
-		return fmt.Errorf("core: Workers must be >= 1, got %d", c.Workers)
+		return &ConfigError{"Workers", fmt.Sprintf("must be >= 1, got %d", c.Workers)}
 	}
 	if c.Threads < 1 {
-		return fmt.Errorf("core: Threads must be >= 1, got %d", c.Threads)
+		return &ConfigError{"Threads", fmt.Sprintf("must be >= 1, got %d", c.Threads)}
 	}
 	if c.Transport != nil && c.Transport.Workers() != c.Workers {
-		return fmt.Errorf("core: transport has %d workers, config has %d",
-			c.Transport.Workers(), c.Workers)
+		return &ConfigError{"Transport", fmt.Sprintf("has %d workers, config has %d",
+			c.Transport.Workers(), c.Workers)}
 	}
 	if c.DenseThreshold < 1 {
-		return fmt.Errorf("core: DenseThreshold must be >= 1, got %d", c.DenseThreshold)
+		return &ConfigError{"DenseThreshold", fmt.Sprintf("must be >= 1, got %d", c.DenseThreshold)}
 	}
 	if c.BatchBytes < 0 {
-		return fmt.Errorf("core: BatchBytes must be >= 0, got %d", c.BatchBytes)
+		return &ConfigError{"BatchBytes", fmt.Sprintf("must be >= 0, got %d", c.BatchBytes)}
 	}
 	if c.CheckpointEvery < 0 {
-		return fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+		return &ConfigError{"CheckpointEvery", fmt.Sprintf("must be >= 0, got %d", c.CheckpointEvery)}
 	}
 	if c.HeartbeatEvery < 0 {
-		return fmt.Errorf("core: HeartbeatEvery must be >= 0, got %v", c.HeartbeatEvery)
+		return &ConfigError{"HeartbeatEvery", fmt.Sprintf("must be >= 0, got %v", c.HeartbeatEvery)}
+	}
+	// A heartbeat interval at or beyond the drain deadline makes every living
+	// peer look heartbeat-silent, so any stall would be misclassified as a
+	// permanent death (ErrPeerDead) and trigger pointless cold restarts.
+	if c.HeartbeatEvery > 0 && c.DrainTimeout > 0 && c.HeartbeatEvery >= c.DrainTimeout {
+		return &ConfigError{"HeartbeatEvery", fmt.Sprintf(
+			"(%v) must be shorter than the drain timeout (%v), or live peers are declared dead",
+			c.HeartbeatEvery, c.DrainTimeout)}
 	}
 	return nil
 }
@@ -204,7 +249,24 @@ type Engine[V any] struct {
 	met   *metrics.Collector
 
 	workers []*worker[V]
-	closed  bool
+
+	// Lifecycle: opMu guards closed and the in-flight operation count; opCond
+	// is signaled when ops drops to zero so a concurrent Close can wait for an
+	// in-flight Run/Resize to unwind after the abort broadcast kicks it out of
+	// its exchange rounds.
+	opMu   sync.Mutex
+	opCond *sync.Cond
+	closed bool
+	ops    int
+
+	// Membership history: placeHist[i] is the placement of membership epoch i
+	// and memberEpoch indexes the current one. Subsets are stamped with the
+	// epoch they were built under; checkSubset lazily remaps a stale subset's
+	// bits through the recorded placement into the current one, so driver-held
+	// handles survive a resize. The history only grows (a rollback re-installs
+	// the old placement under a fresh epoch), so a stamp is always resolvable.
+	placeHist   []partition.Placement
+	memberEpoch int
 
 	// Fault-tolerance state (driver-side, single-threaded between steps).
 	failed      error           // first unrecovered superstep failure
@@ -331,6 +393,8 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 		cfg:   cfg,
 		met:   cfg.Collector,
 	}
+	e.opCond = sync.NewCond(&e.opMu)
+	e.placeHist = []partition.Placement{place}
 	e.store = cfg.Store
 	e.workers = make([]*worker[V], cfg.Workers)
 	for wi := range e.workers {
@@ -346,15 +410,23 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 // from the graph, the placement, and (via restoreCheckpoint) the stored
 // image.
 func (e *Engine[V]) newWorker(wi int) *worker[V] {
-	cfg, place, n := e.cfg, e.place, e.g.NumVertices()
-	st := e.part.Parts[wi].Slots
+	return e.newWorkerAt(wi, e.part, e.place, e.cfg.Workers)
+}
+
+// newWorkerAt is newWorker against an explicit membership (partition,
+// placement, worker count), which may not be installed in the engine yet:
+// Resize builds the new membership's workers side by side with the old ones
+// so a failed migration can simply discard them.
+func (e *Engine[V]) newWorkerAt(wi int, part *partition.Partitioned, place partition.Placement, workers int) *worker[V] {
+	cfg, n := e.cfg, e.g.NumVertices()
+	st := part.Parts[wi].Slots
 	if cfg.FullMirrors {
 		st = partition.FullSlotTable(place, wi, n)
 	}
 	w := &worker[V]{
 		id:       wi,
 		eng:      e,
-		part:     e.part.Parts[wi],
+		part:     part.Parts[wi],
 		st:       st,
 		cur:      make([]V, st.SlotCount()),
 		next:     make([]V, place.LocalCount(wi)),
@@ -363,7 +435,7 @@ func (e *Engine[V]) newWorker(wi int) *worker[V] {
 		pendVal:  make([]V, place.LocalCount(wi)),
 		pendSet:  bitset.New(place.LocalCount(wi)),
 		frontier: bitset.New(n),
-		outKV:    make([]comm.KVWriter[V], cfg.Workers),
+		outKV:    make([]comm.KVWriter[V], workers),
 		met:      metrics.New(),
 	}
 	// Shard 0 serves the sequential push path and the fold target of
@@ -376,7 +448,7 @@ func (e *Engine[V]) newWorker(wi int) *worker[V] {
 		w.encKV = make([][]comm.KVWriter[V], cfg.Threads)
 		w.encMsgs = make([]int, cfg.Threads)
 		for t := range w.encKV {
-			w.encKV[t] = make([]comm.KVWriter[V], cfg.Workers)
+			w.encKV[t] = make([]comm.KVWriter[V], workers)
 			for to := range w.encKV[t] {
 				w.encKV[t][to].Init(e.codec)
 			}
@@ -401,17 +473,65 @@ func (e *Engine[V]) Config() Config { return e.cfg }
 // ReplicationFactor exposes the partition quality metric.
 func (e *Engine[V]) ReplicationFactor() float64 { return e.part.ReplicationFactor() }
 
-// Close releases the transport and joins the workers' parfor thread pools.
-// The engine must not be used afterwards.
-func (e *Engine[V]) Close() error {
+// beginOp registers an in-flight Run/Resize; it fails with ErrEngineClosed
+// once Close has been called.
+func (e *Engine[V]) beginOp() error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
 	if e.closed {
+		return ErrEngineClosed
+	}
+	e.ops++
+	return nil
+}
+
+// endOp retires an in-flight operation, waking a Close waiting for quiesce.
+func (e *Engine[V]) endOp() {
+	e.opMu.Lock()
+	e.ops--
+	if e.ops == 0 {
+		e.opCond.Broadcast()
+	}
+	e.opMu.Unlock()
+}
+
+// isClosed reports whether Close has started.
+func (e *Engine[V]) isClosed() bool {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	return e.closed
+}
+
+// Close releases the transport and joins the workers' parfor thread pools.
+// It is idempotent and safe to call concurrently with an in-flight Run or
+// Resize: the first Close marks the engine closed, aborts the transport so
+// blocked exchange rounds unwind with ErrEngineClosed (terminal — recovery
+// never retries it), waits for in-flight operations to drain, then tears the
+// transport down. The engine must not be used afterwards.
+func (e *Engine[V]) Close() error {
+	e.opMu.Lock()
+	if e.closed {
+		// A concurrent first Close may still be draining; wait so every
+		// returned Close means the teardown finished.
+		for e.ops > 0 {
+			e.opCond.Wait()
+		}
+		e.opMu.Unlock()
 		return nil
 	}
 	e.closed = true
+	if e.ops > 0 {
+		e.tr.Abort(ErrEngineClosed)
+		for e.ops > 0 {
+			e.opCond.Wait()
+		}
+	}
+	e.opMu.Unlock()
 	e.stopHeartbeaters()
 	for _, w := range e.workers {
 		if w.pool != nil {
 			w.pool.stop()
+			w.pool = nil
 		}
 	}
 	return e.tr.Close()

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"flash/graph"
 	"flash/internal/comm"
@@ -311,17 +313,42 @@ func TestPanicsOnMisuse(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	g := graph.GenPath(4)
-	bad := []Config{
-		{Workers: -1},
-		{Threads: -2},
-		{DenseThreshold: -5},
-		{BatchBytes: -1},
-		{Workers: 2, Transport: comm.NewMem(3)},
+	bad := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{Workers: -1}, "Workers"},
+		{Config{Threads: -2}, "Threads"},
+		{Config{DenseThreshold: -5}, "DenseThreshold"},
+		{Config{BatchBytes: -1}, "BatchBytes"},
+		{Config{Workers: 2, Transport: comm.NewMem(3)}, "Transport"},
+		{Config{CheckpointEvery: -1}, "CheckpointEvery"},
+		{Config{HeartbeatEvery: -time.Millisecond}, "HeartbeatEvery"},
+		// A heartbeat interval at or beyond the drain deadline would make
+		// every live peer look heartbeat-silent.
+		{Config{HeartbeatEvery: 200 * time.Millisecond, DrainTimeout: 200 * time.Millisecond}, "HeartbeatEvery"},
+		{Config{HeartbeatEvery: time.Second, DrainTimeout: 100 * time.Millisecond}, "HeartbeatEvery"},
 	}
-	for i, cfg := range bad {
-		if _, err := NewEngine[bfsProps](g, cfg); err == nil {
-			t.Errorf("config %d accepted: %+v", i, cfg)
+	for i, tc := range bad {
+		_, err := NewEngine[bfsProps](g, tc.cfg)
+		if err == nil {
+			t.Errorf("config %d accepted: %+v", i, tc.cfg)
+			continue
 		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("config %d: error %v is not a *ConfigError", i, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("config %d: blamed field %q, want %q", i, ce.Field, tc.field)
+		}
+	}
+	// A valid config with liveness enabled must pass.
+	if _, err := NewEngine[bfsProps](g, Config{
+		Workers: 2, HeartbeatEvery: 10 * time.Millisecond, DrainTimeout: 150 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("valid liveness config rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flash/graph"
+	"flash/internal/comm"
+)
+
+// resizeBFS runs BFS on e, calling resize(stepsDone) after every EdgeMap
+// superstep so tests can reshape the membership mid-traversal.
+func resizeBFS(t *testing.T, e *Engine[bfsProps], root graph.VID, resize func(step int)) []int32 {
+	t.Helper()
+	e.VertexMap(e.All(), nil, func(v Vtx[bfsProps]) bfsProps {
+		if v.ID == root {
+			return bfsProps{Dis: 0}
+		}
+		return bfsProps{Dis: inf}
+	}, StepOpts{})
+	u := e.FromIDs(root)
+	step := 0
+	for u.Size() != 0 {
+		u = e.EdgeMap(u, BaseE[bfsProps](),
+			nil,
+			func(s, d Vtx[bfsProps], _ float32) bfsProps { return bfsProps{Dis: s.Val.Dis + 1} },
+			func(d Vtx[bfsProps]) bool { return d.Val.Dis == inf },
+			func(v, cur bfsProps) bfsProps { return v },
+			StepOpts{})
+		step++
+		if resize != nil {
+			resize(step)
+		}
+	}
+	out := make([]int32, e.Graph().NumVertices())
+	e.Gather(func(v graph.VID, val *bfsProps) { out[v] = val.Dis })
+	return out
+}
+
+func checkBFS(t *testing.T, got, want []int32, label string) {
+	t.Helper()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: dist[%d]=%d want %d", label, v, got[v], want[v])
+		}
+	}
+}
+
+func TestResizeMidRunMatchesFixedMembership(t *testing.T) {
+	g := graph.GenErdosRenyi(200, 900, 17)
+	want := seqBFS(g, 0)
+	for _, hash := range []bool{false, true} {
+		e := mustEngine(t, g, Config{Workers: 2, UseHashPlacement: hash, CheckpointEvery: 2})
+		got := resizeBFS(t, e, 0, func(step int) {
+			var err error
+			switch step {
+			case 1:
+				err = e.Resize(5)
+			case 3:
+				err = e.Resize(3)
+			}
+			if err != nil {
+				t.Fatalf("hash=%v resize after step %d: %v", hash, step, err)
+			}
+		})
+		checkBFS(t, got, want, "resized run")
+		if e.Workers() != 3 {
+			t.Fatalf("hash=%v workers=%d want 3", hash, e.Workers())
+		}
+		if e.Metrics().Resizes != 2 {
+			t.Fatalf("hash=%v resizes=%d want 2", hash, e.Metrics().Resizes)
+		}
+		if e.Metrics().MigratedBytes == 0 {
+			t.Fatalf("hash=%v no migrated bytes recorded", hash)
+		}
+		if err := e.CheckMirrorCoherence(func(a, b bfsProps) bool { return a == b }); err != nil {
+			t.Fatalf("hash=%v after resize: %v", hash, err)
+		}
+	}
+}
+
+func TestResizeWithoutCheckpointing(t *testing.T) {
+	// Resize does not require checkpointing — it is just not crash-safe
+	// without it.
+	g := graph.GenPath(40)
+	want := seqBFS(g, 0)
+	e := mustEngine(t, g, Config{Workers: 3})
+	got := resizeBFS(t, e, 0, func(step int) {
+		if step == 2 {
+			if err := e.Resize(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	checkBFS(t, got, want, "uncheckpointed resize")
+}
+
+func TestResizeSubsetsRemapAcrossEpochs(t *testing.T) {
+	g := graph.GenErdosRenyi(120, 500, 5)
+	e := mustEngine(t, g, Config{Workers: 2})
+	s := e.FromIDs(3, 17, 64, 118)
+	before := e.IDs(s)
+	if err := e.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	// The stale subset must remap lazily and keep its membership.
+	if !e.Contains(s, 17) || e.Contains(s, 18) {
+		t.Fatal("membership changed across resize")
+	}
+	after := e.IDs(s)
+	if len(after) != len(before) {
+		t.Fatalf("IDs: %v -> %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("IDs: %v -> %v", before, after)
+		}
+	}
+	if s.Size() != 4 {
+		t.Fatalf("size=%d want 4", s.Size())
+	}
+	// And stay usable as a frontier.
+	e.Add(s, 0)
+	if s.Size() != 5 {
+		t.Fatalf("size=%d want 5 after Add", s.Size())
+	}
+}
+
+func TestResizeRejectsBadCount(t *testing.T) {
+	g := graph.GenPath(8)
+	e := mustEngine(t, g, Config{Workers: 2})
+	err := e.Resize(0)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Resize(0): err=%v, want ConfigError", err)
+	}
+	// Same-count resize is a no-op, not an error.
+	if err := e.Resize(2); err != nil {
+		t.Fatalf("Resize(same): %v", err)
+	}
+	if e.Metrics().Resizes != 0 {
+		t.Fatal("no-op resize counted")
+	}
+}
+
+// nonResizer hides the Resize method of a Mem transport.
+type nonResizer struct{ m *comm.Mem }
+
+func (f nonResizer) Workers() int                            { return f.m.Workers() }
+func (f nonResizer) Send(from, to int, data []byte) error    { return f.m.Send(from, to, data) }
+func (f nonResizer) EndRound(from int) error                 { return f.m.EndRound(from) }
+func (f nonResizer) Drain(to int, h func(int, []byte)) error { return f.m.Drain(to, h) }
+func (f nonResizer) Heartbeat(from int) error                { return f.m.Heartbeat(from) }
+func (f nonResizer) Abort(err error)                         { f.m.Abort(err) }
+func (f nonResizer) Reset()                                  { f.m.Reset() }
+func (f nonResizer) SetDrainTimeout(d time.Duration)         { f.m.SetDrainTimeout(d) }
+func (f nonResizer) Stats() comm.Stats                       { return f.m.Stats() }
+func (f nonResizer) Close() error                            { return f.m.Close() }
+
+func TestResizeUnsupportedTransportIsTerminal(t *testing.T) {
+	g := graph.GenPath(8)
+	e := mustEngine(t, g, Config{Workers: 2, Transport: nonResizer{comm.NewMem(2)}})
+	if err := e.Resize(3); err == nil {
+		t.Fatal("Resize over non-Resizer transport succeeded")
+	}
+	if e.Err() == nil {
+		t.Fatal("unsupported resize did not mark the engine failed")
+	}
+}
+
+func TestResizePolicyDrivesAutomaticScaling(t *testing.T) {
+	g := graph.GenErdosRenyi(150, 600, 23)
+	want := seqBFS(g, 0)
+	e := mustEngine(t, g, Config{
+		Workers:         2,
+		CheckpointEvery: 2,
+		ResizePolicy: func(s StepInfo) int {
+			// Scale out at the third superstep, back in at the fifth.
+			switch s.Superstep {
+			case 3:
+				return 6
+			case 5:
+				return 3
+			}
+			return 0
+		},
+	})
+	var got []int32
+	if _, err := e.Run(func() error {
+		got = resizeBFS(t, e, 0, nil)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkBFS(t, got, want, "policy-resized run")
+	if e.Metrics().Resizes != 2 {
+		t.Fatalf("resizes=%d want 2", e.Metrics().Resizes)
+	}
+	if e.Workers() != 3 {
+		t.Fatalf("workers=%d want 3", e.Workers())
+	}
+}
+
+// resizeFaultCfg is the common chaos configuration for mid-migration fault
+// tests: short liveness windows so a killed migration participant converts
+// to ErrPeerDead quickly, and checkpointing on so rollback has an image.
+func resizeFaultCfg(plan comm.FaultPlan) Config {
+	return Config{
+		Workers:         2,
+		CheckpointEvery: 1,
+		MaxRecoveries:   4,
+		HeartbeatEvery:  10 * time.Millisecond,
+		DrainTimeout:    200 * time.Millisecond,
+		FaultPlan:       &plan,
+	}
+}
+
+func TestResizeKilledMidMigrationRollsBackAndRetries(t *testing.T) {
+	g := graph.GenErdosRenyi(160, 700, 31)
+	want := seqBFS(g, 0)
+	e := mustEngine(t, g, resizeFaultCfg(comm.FaultPlan{
+		ResizeKills: []comm.ResizeKill{{Worker: 1, Phase: 0}},
+	}))
+	got := resizeBFS(t, e, 0, func(step int) {
+		if step == 2 {
+			if err := e.Resize(5); err != nil {
+				t.Fatalf("resize: %v", err)
+			}
+		}
+	})
+	checkBFS(t, got, want, "kill-during-resize run")
+	m := e.Metrics()
+	if m.Resizes != 1 || m.Recoveries == 0 || m.Restarts == 0 {
+		t.Fatalf("resizes=%d recoveries=%d restarts=%d; want 1/>0/>0",
+			m.Resizes, m.Recoveries, m.Restarts)
+	}
+}
+
+func TestResizeCorruptMigrationFrameRollsBack(t *testing.T) {
+	g := graph.GenErdosRenyi(160, 700, 31)
+	want := seqBFS(g, 0)
+	e := mustEngine(t, g, resizeFaultCfg(comm.FaultPlan{
+		Seed:           9,
+		ResizeCorrupts: []comm.ResizeFrameCorrupt{{From: 0, To: 1, Phase: 0}},
+	}))
+	got := resizeBFS(t, e, 0, func(step int) {
+		if step == 2 {
+			if err := e.Resize(4); err != nil {
+				t.Fatalf("resize: %v", err)
+			}
+		}
+	})
+	checkBFS(t, got, want, "corrupt-migration run")
+	m := e.Metrics()
+	if m.Resizes != 1 || m.Recoveries == 0 {
+		t.Fatalf("resizes=%d recoveries=%d; want 1/>0", m.Resizes, m.Recoveries)
+	}
+	if m.Restarts != 0 {
+		t.Fatalf("corruption caused %d cold restarts; rollback alone should repair it", m.Restarts)
+	}
+}
+
+func TestResizeDelayedMigrationFramesStillComplete(t *testing.T) {
+	g := graph.GenErdosRenyi(160, 700, 31)
+	want := seqBFS(g, 0)
+	e := mustEngine(t, g, resizeFaultCfg(comm.FaultPlan{
+		ResizeDelays: []comm.ResizeFrameDelay{{Worker: 0, Phase: 0}, {Worker: 1, Phase: 0}},
+	}))
+	got := resizeBFS(t, e, 0, func(step int) {
+		if step == 2 {
+			if err := e.Resize(4); err != nil {
+				t.Fatalf("resize: %v", err)
+			}
+		}
+	})
+	checkBFS(t, got, want, "delayed-migration run")
+	m := e.Metrics()
+	if m.Resizes != 1 || m.Recoveries != 0 {
+		t.Fatalf("resizes=%d recoveries=%d; want 1/0 (delays respect the round boundary)",
+			m.Resizes, m.Recoveries)
+	}
+}
+
+func TestResizeShrinkKillOfLeavingWorker(t *testing.T) {
+	// The victim is a worker that would not exist in the new membership: the
+	// rollback must still revive it in the old one.
+	g := graph.GenErdosRenyi(160, 700, 31)
+	want := seqBFS(g, 0)
+	plan := comm.FaultPlan{ResizeKills: []comm.ResizeKill{{Worker: 3, Phase: 0}}}
+	cfg := resizeFaultCfg(plan)
+	cfg.Workers = 4
+	e := mustEngine(t, g, cfg)
+	got := resizeBFS(t, e, 0, func(step int) {
+		if step == 2 {
+			if err := e.Resize(2); err != nil {
+				t.Fatalf("resize: %v", err)
+			}
+		}
+	})
+	checkBFS(t, got, want, "shrink-kill run")
+	m := e.Metrics()
+	if m.Resizes != 1 || m.Recoveries == 0 || m.Restarts == 0 {
+		t.Fatalf("resizes=%d recoveries=%d restarts=%d; want 1/>0/>0",
+			m.Resizes, m.Recoveries, m.Restarts)
+	}
+	if e.Workers() != 2 {
+		t.Fatalf("workers=%d want 2", e.Workers())
+	}
+}
+
+func TestResizeOverTCP(t *testing.T) {
+	g := graph.GenErdosRenyi(100, 400, 13)
+	want := seqBFS(g, 0)
+	tr, err := comm.NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, g, Config{Workers: 2, Transport: tr, CheckpointEvery: 2})
+	got := resizeBFS(t, e, 0, func(step int) {
+		if step == 1 {
+			if err := e.Resize(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	checkBFS(t, got, want, "tcp resize")
+	if e.Workers() != 4 {
+		t.Fatalf("workers=%d want 4", e.Workers())
+	}
+}

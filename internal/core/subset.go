@@ -17,6 +17,10 @@ type Subset struct {
 	owner anyEngine
 	local []*bitset.Bitset
 	count int
+	// epoch is the membership epoch the per-worker bitsets are laid out
+	// under. A subset held across an Engine.Resize goes stale; checkSubset
+	// remaps it into the current epoch before any primitive touches it.
+	epoch int
 }
 
 // anyEngine lets Subset validate that handles are not mixed across engines
@@ -26,7 +30,7 @@ type anyEngine interface{ engineTag() }
 func (e *Engine[V]) engineTag() {}
 
 func (e *Engine[V]) newSubset() *Subset {
-	s := &Subset{owner: e, local: make([]*bitset.Bitset, e.cfg.Workers)}
+	s := &Subset{owner: e, local: make([]*bitset.Bitset, e.cfg.Workers), epoch: e.memberEpoch}
 	for w := 0; w < e.cfg.Workers; w++ {
 		s.local[w] = bitset.New(e.place.LocalCount(w))
 	}
@@ -37,6 +41,32 @@ func (e *Engine[V]) checkSubset(s *Subset) {
 	if s.owner != anyEngine(e) {
 		panic("core: vertexSubset used with a different engine")
 	}
+	if s.epoch != e.memberEpoch {
+		e.remapSubset(s)
+	}
+}
+
+// remapSubset rewrites a stale subset's per-worker bitsets from the placement
+// it was built under into the current one: each member decodes to its global
+// id through the recorded epoch's placement and re-encodes through the
+// current Owner/LocalIndex. Membership (and therefore count) is unchanged —
+// only the distribution of the bits over workers moves.
+func (e *Engine[V]) remapSubset(s *Subset) {
+	oldPlace := e.placeHist[s.epoch]
+	local := make([]*bitset.Bitset, e.cfg.Workers)
+	for w := range local {
+		local[w] = bitset.New(e.place.LocalCount(w))
+	}
+	for w := range s.local {
+		w := w
+		s.local[w].Range(func(l int) bool {
+			gid := oldPlace.GlobalID(w, l)
+			local[e.place.Owner(gid)].Set(e.place.LocalIndex(gid))
+			return true
+		})
+	}
+	s.local = local
+	s.epoch = e.memberEpoch
 }
 
 // recount refreshes the cached cardinality.

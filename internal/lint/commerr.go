@@ -17,7 +17,7 @@ import (
 // forces the "this cannot fail here" argument into the source.
 var CommErr = &Analyzer{
 	Name: "commerr",
-	Doc:  "transport Send/EndRound/Drain and Engine.Run errors must be checked or //flash:ignore-err annotated",
+	Doc:  "transport Send/EndRound/Drain/Resize and Engine.Run/Resize errors must be checked or //flash:ignore-err annotated",
 	Run:  runCommErr,
 }
 
@@ -34,6 +34,7 @@ var commErrReceivers = map[string]bool{
 	"CheckpointStore": true, // core.CheckpointStore interface
 	"MemStore":        true, // core.MemStore
 	"FileStore":       true, // core.FileStore
+	"Resizer":         true, // comm.Resizer interface (membership changes)
 }
 
 var commErrMethods = map[string]bool{
@@ -43,6 +44,7 @@ var commErrMethods = map[string]bool{
 	"Run":      true,
 	"Save":     true, // a dropped Save error silently loses checkpoint durability
 	"Load":     true, // a dropped Load error restores from a phantom image
+	"Resize":   true, // a dropped Resize error leaves membership half-changed
 }
 
 func runCommErr(pass *Pass) error {

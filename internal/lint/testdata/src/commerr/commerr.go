@@ -12,6 +12,12 @@ func (t *Transport) Drain(to int, h func(int, []byte)) error { return nil }
 type Engine struct{}
 
 func (e *Engine) Run(p func() error) (int, error) { return 0, nil }
+func (e *Engine) Resize(n int) error              { return nil }
+
+// Resizer stands in for comm.Resizer, the membership-change fault surface.
+type Resizer interface {
+	Resize(n int) error
+}
 
 // Image stands in for core.CheckpointImage; the store stubs mirror the
 // runtime's CheckpointStore fault surface.
@@ -38,6 +44,20 @@ func bad(tr *Transport, e *Engine, fs *FileStore, ms *MemStore) {
 	_, _ = fs.Load()      // want `FileStore.Load error assigned to _`
 	ms.Save(nil)          // want `MemStore.Save error discarded`
 	defer fs.Save(nil)    // want `FileStore.Save error discarded by defer`
+}
+
+func badResize(e *Engine, rz Resizer) {
+	e.Resize(8)      // want `Engine.Resize error discarded`
+	_ = rz.Resize(4) // want `Resizer.Resize error assigned to _`
+	go e.Resize(2)   // want `Engine.Resize error discarded by go statement`
+}
+
+func goodResize(e *Engine, rz Resizer) error {
+	if err := rz.Resize(8); err != nil {
+		return err
+	}
+	e.Resize(4) //flash:ignore-err shrink back is best-effort during shutdown
+	return e.Resize(2)
 }
 
 func good(tr *Transport, e *Engine, fs *FileStore, ms *MemStore) error {

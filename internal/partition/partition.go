@@ -182,6 +182,19 @@ func New(g *graph.Graph, place Placement) *Partitioned {
 	return p
 }
 
+// Shell returns an empty Partitioned for place with no Parts built. It is
+// the membership-resize entry point: the engine fills each slot with
+// Rebuild(w), reusing the cold-restart path to construct every worker's view
+// of the new partitioning one at a time instead of New's whole-graph passes.
+func Shell(g *graph.Graph, place Placement) *Partitioned {
+	return &Partitioned{
+		G:      g,
+		Place:  place,
+		Parts:  make([]*Part, place.Workers()),
+		nTotal: g.NumVertices(),
+	}
+}
+
 // Rebuild reconstructs worker w's Part from scratch — mirror set, per-master
 // mirror-worker lists, and slot table — as if New had just run, and installs
 // it in p. It exists for cold worker restart: a permanently lost worker's

@@ -66,6 +66,14 @@ type Collector struct {
 	Restarts        uint64
 	CheckpointBytes uint64
 	RecoveryTime    time.Duration
+	// Elasticity counters: Resizes counts completed membership changes,
+	// MigratedBytes the master-state payload shipped between partitions during
+	// migration rounds, and ResizeTime the wall time runs spent paused at
+	// resize barriers (quiesce through resume, including failed attempts that
+	// rolled back).
+	Resizes       uint64
+	MigratedBytes uint64
+	ResizeTime    time.Duration
 }
 
 // New returns an empty collector.
@@ -142,6 +150,27 @@ func (col *Collector) AddRecoveryTime(d time.Duration) {
 	col.mu.Unlock()
 }
 
+// AddResizes records n completed membership changes.
+func (col *Collector) AddResizes(n uint64) {
+	col.mu.Lock()
+	col.Resizes += n
+	col.mu.Unlock()
+}
+
+// AddMigratedBytes records n bytes of master state shipped during migration.
+func (col *Collector) AddMigratedBytes(n uint64) {
+	col.mu.Lock()
+	col.MigratedBytes += n
+	col.mu.Unlock()
+}
+
+// AddResizeTime records wall time a run spent paused at a resize barrier.
+func (col *Collector) AddResizeTime(d time.Duration) {
+	col.mu.Lock()
+	col.ResizeTime += d
+	col.mu.Unlock()
+}
+
 // Step records one superstep with the given entering frontier size.
 func (col *Collector) Step(frontier int) {
 	col.mu.Lock()
@@ -197,6 +226,7 @@ func (col *Collector) Merge(other *Collector) {
 	retries, reconnects := other.Retries, other.Reconnects
 	recoveries, checkpoints := other.Recoveries, other.Checkpoints
 	restarts, ckptBytes, recTime := other.Restarts, other.CheckpointBytes, other.RecoveryTime
+	resizes, migBytes, rszTime := other.Resizes, other.MigratedBytes, other.ResizeTime
 	other.mu.Unlock()
 
 	col.mu.Lock()
@@ -214,6 +244,9 @@ func (col *Collector) Merge(other *Collector) {
 	col.Restarts += restarts
 	col.CheckpointBytes += ckptBytes
 	col.RecoveryTime += recTime
+	col.Resizes += resizes
+	col.MigratedBytes += migBytes
+	col.ResizeTime += rszTime
 	col.mu.Unlock()
 }
 
@@ -232,6 +265,9 @@ func (col *Collector) Reset() {
 	col.Restarts = 0
 	col.CheckpointBytes = 0
 	col.RecoveryTime = 0
+	col.Resizes = 0
+	col.MigratedBytes = 0
+	col.ResizeTime = 0
 	col.mu.Unlock()
 }
 
@@ -251,6 +287,10 @@ func (col *Collector) String() string {
 	if col.Restarts+col.CheckpointBytes > 0 || col.RecoveryTime > 0 {
 		fmt.Fprintf(&sb, " restarts=%d ckpt_bytes=%d recovery_time=%s",
 			col.Restarts, col.CheckpointBytes, col.RecoveryTime.Round(time.Microsecond))
+	}
+	if col.Resizes > 0 {
+		fmt.Fprintf(&sb, " resizes=%d migrated_bytes=%d resize_time=%s",
+			col.Resizes, col.MigratedBytes, col.ResizeTime.Round(time.Microsecond))
 	}
 	return sb.String()
 }
