@@ -107,6 +107,7 @@ type PerfSuite struct {
 	Mem        map[string]MemStat      `json:"mem,omitempty"`
 	Recovery   map[string]RecoveryStat `json:"recovery,omitempty"`
 	Resize     map[string]ResizeStat   `json:"resize,omitempty"`
+	Serve      map[string]ServeStat    `json:"serve,omitempty"`
 	Suite      []PerfCell              `json:"suite"`
 }
 
@@ -345,6 +346,7 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 		Mem:        map[string]MemStat{},
 		Recovery:   map[string]RecoveryStat{},
 		Resize:     map[string]ResizeStat{},
+		Serve:      map[string]ServeStat{},
 	}
 	for _, c := range []struct{ w, t int }{{1, 1}, {4, 1}, {4, 4}} {
 		r := MicroSparse(c.w, c.t)
@@ -370,6 +372,15 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 			return nil, fmt.Errorf("resize %s: %w", transport, err)
 		}
 		s.Resize[fmt.Sprintf("bfs_elastic_%s_w2to8to4", transport)] = rz
+	}
+	// Service throughput: the fixed flashd job mix at serial and concurrent
+	// scheduling, so the serving layer's jobs/sec has a committed baseline.
+	for _, conc := range []int{1, 4} {
+		sv, err := MeasureServe(conc)
+		if err != nil {
+			return nil, fmt.Errorf("serve c%d: %w", conc, err)
+		}
+		s.Serve[fmt.Sprintf("mixed_jobs_c%d", conc)] = sv
 	}
 	for _, a := range fixedAlgos(g, weighted) {
 		for _, transport := range []string{"mem", "tcp"} {
@@ -525,6 +536,17 @@ func PrintPerf(w io.Writer, s *PerfSuite) {
 		fmt.Fprintf(w, "%-28s %d resizes %10.2fms paused %10d B migrated (run %7.1fms vs %7.1fms fixed)\n",
 			k, r.Resizes, float64(r.ResizeTimeNs)/1e6, r.MigratedBytes,
 			float64(r.ElasticNs)/1e6, float64(r.FixedNs)/1e6)
+	}
+	svKeys := make([]string, 0, len(s.Serve))
+	for k := range s.Serve {
+		svKeys = append(svKeys, k)
+	}
+	sort.Strings(svKeys)
+	for _, k := range svKeys {
+		sv := s.Serve[k]
+		fmt.Fprintf(w, "%-28s %3d jobs @ c%-2d %10.2f jobs/sec (batch %7.1fms, %d graph B + %d shared B once)\n",
+			k, sv.Jobs, sv.Concurrency, sv.JobsPerSec,
+			float64(sv.ElapsedNs)/1e6, sv.GraphBytes, sv.SharedBytes)
 	}
 	for _, c := range s.Suite {
 		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flash/internal/serve"
+)
+
+// ServeStat is one flashd throughput entry in BENCH_flash.json's serve
+// section: a fixed mixed job batch pushed through the service scheduler at a
+// given concurrency, with the catalog's once-paid immutable footprint
+// alongside so memory sharing stays visible in the baseline.
+type ServeStat struct {
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	GraphBytes  uint64  `json:"graph_bytes"`
+	SharedBytes uint64  `json:"shared_bytes"`
+}
+
+// MeasureServe runs the fixed flashd smoke batch: one shared catalog graph,
+// a BFS/CC/PageRank/SSSP job mix submitted all at once, maxConcurrent
+// execution slots. Returns batch wall time and jobs/sec.
+func MeasureServe(maxConcurrent int) (ServeStat, error) {
+	const jobs = 24
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Scheduler: serve.SchedulerConfig{
+			MaxConcurrent: maxConcurrent,
+			QueueDepth:    jobs,
+			Workers:       4,
+		},
+		Preload: []serve.GraphSpec{
+			{Name: "g", Gen: "rmat", N: 4096, M: 4096 * 12, Seed: 101, Weighted: true},
+		},
+	})
+	if err != nil {
+		return ServeStat{}, err
+	}
+	defer srv.Close()
+	// Warm the partition cache so the measured batch prices job execution,
+	// not the one-time partitioning.
+	h, err := srv.Catalog().Get("g")
+	if err != nil {
+		return ServeStat{}, err
+	}
+	h.Prewarm(4)
+
+	reqs := make([]*serve.JobRequest, jobs)
+	for i := range reqs {
+		req := &serve.JobRequest{Graph: "g"}
+		switch i % 4 {
+		case 0:
+			root := uint64(i)
+			req.Algo = "bfs"
+			req.Params = serve.JobParams{Root: &root}
+		case 1:
+			req.Algo = "cc"
+		case 2:
+			iters, eps := 5, 0.0
+			req.Algo = "pagerank"
+			req.Params = serve.JobParams{MaxIters: &iters, Eps: &eps}
+		case 3:
+			root := uint64(i)
+			req.Algo = "sssp"
+			req.Params = serve.JobParams{Root: &root}
+		}
+		reqs[i] = req
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *serve.JobRequest) {
+			defer wg.Done()
+			job, err := srv.SubmitRequest(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			<-job.Done()
+			_, errs[i] = job.Result()
+		}(i, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return ServeStat{}, fmt.Errorf("job %d (%s): %w", i, reqs[i].Algo, err)
+		}
+	}
+
+	gb, sb := srv.Catalog().Bytes()
+	return ServeStat{
+		Jobs:        jobs,
+		Concurrency: maxConcurrent,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		JobsPerSec:  float64(jobs) / elapsed.Seconds(),
+		GraphBytes:  gb,
+		SharedBytes: sb,
+	}, nil
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"flash/algo"
+	"flash/internal/serve"
+)
+
+// startFlashd builds the daemon binary, starts it on a free port with the
+// given extra flags, and returns its base URL plus a stop function that
+// sends SIGTERM and waits for a clean exit.
+func startFlashd(t *testing.T, extra ...string) (string, func() error) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "flashd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	// The daemon announces its bound address on stdout.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "flashd listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address (scan err: %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	stop := func() error {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(60 * time.Second):
+			cmd.Process.Kill()
+			return fmt.Errorf("daemon did not exit within 60s of SIGTERM")
+		}
+	}
+	return "http://" + addr, stop
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("unmarshal %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp
+}
+
+// TestFlashdEndToEnd drives the daemon binary over real HTTP: preload a
+// graph via flag, load a second via the API, run jobs on both, compare a
+// BFS result against the in-process algo package, read metrics, evict, and
+// shut down cleanly with SIGTERM.
+func TestFlashdEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+
+	preload := filepath.Join(t.TempDir(), "graphs.json")
+	specs := []serve.GraphSpec{{Name: "boot", Gen: "er", N: 200, M: 800, Seed: 5}}
+	data, _ := json.Marshal(specs)
+	if err := os.WriteFile(preload, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, stop := startFlashd(t, "-preload", preload, "-max-concurrent", "2")
+
+	// The preloaded graph is in the catalog.
+	var infos []serve.GraphInfo
+	getJSON(t, base+"/v1/graphs", &infos)
+	if len(infos) != 1 || infos[0].Name != "boot" {
+		t.Fatalf("catalog after preload = %+v", infos)
+	}
+	if infos[0].GraphBytes == 0 {
+		t.Fatal("preloaded graph reports zero GraphBytes")
+	}
+
+	// Load a second graph over the API.
+	resp, body := postJSON(t, base+"/v1/graphs",
+		serve.GraphSpec{Name: "g", Gen: "rmat", N: 512, M: 2048, Seed: 11})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load graph: %d %s", resp.StatusCode, body)
+	}
+
+	// Run BFS through the service and compare with the direct library call.
+	resp, body = postJSON(t, base+"/v1/jobs", map[string]any{
+		"graph": "g", "algo": "bfs", "params": map[string]any{"root": 0},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil || accepted.ID == "" {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+
+	var status struct {
+		State  string `json:"state"`
+		Result *struct {
+			Values     json.RawMessage `json:"values"`
+			Supersteps int             `json:"supersteps"`
+			StateBytes uint64          `json:"state_bytes"`
+			Workers    int             `json:"workers"`
+		} `json:"result"`
+	}
+	getJSON(t, base+"/v1/jobs/"+accepted.ID+"?wait=60s", &status)
+	if status.State != "done" || status.Result == nil {
+		t.Fatalf("job state %q, result %v", status.State, status.Result)
+	}
+	if status.Result.StateBytes == 0 || status.Result.Workers == 0 {
+		t.Fatalf("missing run accounting: %+v", status.Result)
+	}
+
+	g, err := serve.BuildGraph(serve.GraphSpec{Name: "g", Gen: "rmat", N: 512, M: 2048, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algo.BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(bytes.TrimSpace(status.Result.Values), wantJSON) {
+		t.Fatalf("service BFS != direct BFS\nservice: %.120s\ndirect:  %.120s",
+			status.Result.Values, wantJSON)
+	}
+
+	// A job naming a missing graph is a typed 404.
+	resp, body = postJSON(t, base+"/v1/jobs", map[string]any{
+		"graph": "nope", "algo": "cc",
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph: %d %s", resp.StatusCode, body)
+	}
+	var envelope struct {
+		Code  string `json:"code"`
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Code != "unknown_graph" || envelope.Graph != "nope" {
+		t.Fatalf("error envelope = %+v", envelope)
+	}
+
+	// Metrics reflect the work done.
+	var snap serve.MetricsSnapshot
+	getJSON(t, base+"/v1/metrics", &snap)
+	if snap.Completed < 1 || snap.Graphs != 2 || snap.GraphBytes == 0 {
+		t.Fatalf("metrics = %+v", snap)
+	}
+	if snap.Rejected["unknown_graph"] != 1 {
+		t.Fatalf("rejected counters = %v", snap.Rejected)
+	}
+
+	// Evict and confirm new jobs on the evicted graph are rejected.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/graphs/g", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("evict: %d", dresp.StatusCode)
+	}
+	resp, body = postJSON(t, base+"/v1/jobs", map[string]any{"graph": "g", "algo": "cc"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("job on evicted graph: %d %s", resp.StatusCode, body)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+}

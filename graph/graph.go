@@ -123,6 +123,18 @@ func (g *Graph) Edges(f func(u, v VID, w float32) bool) {
 	}
 }
 
+// MemBytes returns the resident footprint of the CSR arrays (offsets,
+// adjacency, and weights for both directions). A graph catalog serving many
+// concurrent jobs over one immutable topology pays this once; per-job engine
+// state is accounted separately by the engines.
+func (g *Graph) MemBytes() uint64 {
+	var total uint64
+	total += uint64(cap(g.outOff)+cap(g.inOff)) * 8
+	total += uint64(cap(g.outAdj)+cap(g.inAdj)) * 4
+	total += uint64(cap(g.outW)+cap(g.inW)) * 4
+	return total
+}
+
 // MaxOutDegree returns the largest out-degree and a vertex achieving it.
 func (g *Graph) MaxOutDegree() (VID, int) {
 	best, bestV := -1, VID(0)

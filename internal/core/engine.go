@@ -123,6 +123,27 @@ type Config struct {
 	// triggers an automatic Engine.Resize at the barrier. Requires a transport
 	// that implements comm.Resizer and checkpointing for crash-safe migration.
 	ResizePolicy ResizePolicy
+	// Shared, when non-nil, supplies the immutable half of the engine — the
+	// graph and a cached read-only partition — so concurrent engines over one
+	// catalog graph share a single CSR and partition instead of rebuilding
+	// them per run. The graph passed to NewEngine must be Shared's graph.
+	Shared *SharedGraph
+	// RunStats, when non-nil, receives the engine's final summary (RunResult
+	// counters plus the private state footprint) when the engine closes. A
+	// serving layer uses it to account each job's mutable state without
+	// reaching into engine internals.
+	RunStats func(RunStats)
+}
+
+// RunStats is the final summary handed to Config.RunStats when the engine
+// closes: the cumulative fault-tolerance counters, the worker count at the
+// end of the last run, and StateBytes — the job-private mutable state, which
+// is the memory a concurrent job costs on top of the shared graph and
+// partition.
+type RunStats struct {
+	Result     RunResult
+	StateBytes uint64
+	Workers    int
 }
 
 // StepInfo is the per-superstep snapshot handed to a ResizePolicy.
@@ -248,6 +269,10 @@ type Engine[V any] struct {
 	cfg   Config
 	met   *metrics.Collector
 
+	// partShared marks part as borrowed from Config.Shared's cache: it is
+	// read-only and must be forked (privatizePart) before any Rebuild.
+	partShared bool
+
 	workers []*worker[V]
 
 	// Lifecycle: opMu guards closed and the in-flight operation count; opCond
@@ -359,6 +384,9 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Shared != nil && cfg.Shared.Graph() != g {
+		return nil, &ConfigError{"Shared", "wraps a different graph than the one passed to NewEngine"}
+	}
 	tr := cfg.Transport
 	if tr == nil {
 		if cfg.UseTCP {
@@ -377,21 +405,30 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 	if cfg.DrainTimeout > 0 {
 		tr.SetDrainTimeout(cfg.DrainTimeout)
 	}
-	var place partition.Placement
-	if cfg.UseHashPlacement {
-		place = partition.NewHash(g.NumVertices(), cfg.Workers)
+	var part *partition.Partitioned
+	partShared := false
+	if cfg.Shared != nil {
+		part = cfg.Shared.Partition(cfg.Workers, cfg.UseHashPlacement)
+		partShared = true
 	} else {
-		place = partition.NewRange(g.NumVertices(), cfg.Workers)
+		var place partition.Placement
+		if cfg.UseHashPlacement {
+			place = partition.NewHash(g.NumVertices(), cfg.Workers)
+		} else {
+			place = partition.NewRange(g.NumVertices(), cfg.Workers)
+		}
+		part = partition.New(g, place)
 	}
-	part := partition.New(g, place)
+	place := part.Place
 	e := &Engine[V]{
-		g:     g,
-		part:  part,
-		place: place,
-		tr:    tr,
-		codec: comm.CodecFor[V](),
-		cfg:   cfg,
-		met:   cfg.Collector,
+		g:          g,
+		part:       part,
+		partShared: partShared,
+		place:      place,
+		tr:         tr,
+		codec:      comm.CodecFor[V](),
+		cfg:        cfg,
+		met:        cfg.Collector,
 	}
 	e.opCond = sync.NewCond(&e.opMu)
 	e.placeHist = []partition.Placement{place}
@@ -533,6 +570,11 @@ func (e *Engine[V]) Close() error {
 			w.pool.stop()
 			w.pool = nil
 		}
+	}
+	if e.cfg.RunStats != nil {
+		// Ops have drained and pools are stopped, so the cumulative counters
+		// and StateBytes are a stable final snapshot of this engine's work.
+		e.cfg.RunStats(RunStats{Result: e.runResult(), StateBytes: e.StateBytes(), Workers: e.cfg.Workers})
 	}
 	return e.tr.Close()
 }

@@ -55,14 +55,16 @@ import (
 // membership is a snapshot of the engine fields a resize replaces, kept for
 // rollback.
 type membership[V any] struct {
-	workers int
-	place   partition.Placement
-	part    *partition.Partitioned
-	ws      []*worker[V]
+	workers    int
+	place      partition.Placement
+	part       *partition.Partitioned
+	partShared bool
+	ws         []*worker[V]
 }
 
 func (e *Engine[V]) membership() membership[V] {
-	return membership[V]{workers: e.cfg.Workers, place: e.place, part: e.part, ws: e.workers}
+	return membership[V]{workers: e.cfg.Workers, place: e.place, part: e.part,
+		partShared: e.partShared, ws: e.workers}
 }
 
 // Resize changes the engine's worker count to n at the current superstep
@@ -187,10 +189,13 @@ func (e *Engine[V]) doResize(n int) error {
 		e.startHeartbeatersN(n)
 	}
 
-	// Install the new membership and open a fresh subset epoch.
+	// Install the new membership and open a fresh subset epoch. The new
+	// partition was built privately (Shell + Rebuild), so a previously
+	// catalog-shared engine owns its partition from here on.
 	oldWorkers := e.workers
 	e.cfg.Workers = n
 	e.part = newPart
+	e.partShared = false
 	e.workers = newWorkers
 	e.pushEpoch(newPlace)
 
@@ -366,6 +371,7 @@ func (e *Engine[V]) rollbackResize(old membership[V], cause error) error {
 	}
 	e.cfg.Workers = old.workers
 	e.part = old.part
+	e.partShared = old.partShared
 	e.workers = old.ws
 	if e.place != old.place {
 		// Reinstalled under a fresh epoch so subsets stamped with the aborted
@@ -377,6 +383,7 @@ func (e *Engine[V]) rollbackResize(old membership[V], cause error) error {
 		return err
 	}
 	if victim, lost := killedWorker(cause); lost && victim < old.workers {
+		e.privatizePart()
 		e.part.Rebuild(victim)
 		e.workers[victim] = e.newWorker(victim)
 		if rv, ok := e.tr.(comm.Reviver); ok {

@@ -54,6 +54,7 @@ func (e *Engine[V]) coldRestart(victim int) {
 	if old != nil && old.pool != nil {
 		old.pool.stop()
 	}
+	e.privatizePart()
 	e.part.Rebuild(victim)
 	e.workers[victim] = e.newWorker(victim)
 	if rv, ok := e.tr.(comm.Reviver); ok {

@@ -1,0 +1,110 @@
+// The immutable half of the engine split.
+//
+// An Engine used to own everything it touched: topology, partition, slot
+// tables, and the per-run property state. That model is fine for "load one
+// graph, run one algorithm, exit", but a long-lived service runs many
+// concurrent jobs over one graph, and rebuilding the partition (mirror
+// discovery is O(|E|), slot tables O(masters+mirrors)) per job — let alone
+// copying the CSR — would dominate short queries and multiply resident
+// memory by the job count.
+//
+// SharedGraph is the read-only bundle a catalog holds instead: the graph
+// plus a concurrency-safe cache of partitions keyed by (worker count,
+// placement flavor). Engines constructed with Config.Shared borrow the
+// cached *partition.Partitioned instead of building their own, so N
+// concurrent jobs over one graph share one CSR and one partition; everything
+// mutable (cur/next/pendVal/accumulator shards/checkpoints) stays per-engine.
+//
+// Mutation discipline: a shared partition is read-only to every borrower.
+// The only writes the runtime ever performs on a Partitioned are
+// Rebuild calls during cold restart and resize rollback; engines with a
+// borrowed partition fork it first (copy-on-write, see privatizePart), so
+// one job's recovery can never race another job's reads.
+package core
+
+import (
+	"sync"
+
+	"flash/graph"
+	"flash/internal/partition"
+)
+
+// partKey identifies one cached partition: the worker count and placement
+// flavor fully determine the partition of a fixed graph.
+type partKey struct {
+	workers int
+	hash    bool
+}
+
+// SharedGraph is an immutable graph plus its partition cache, shared by all
+// engines running jobs over the graph. Safe for concurrent use.
+type SharedGraph struct {
+	g *graph.Graph
+
+	mu    sync.Mutex
+	parts map[partKey]*partition.Partitioned
+}
+
+// NewSharedGraph wraps g for sharing across engines. The graph must not be
+// mutated afterwards (graph.Graph is immutable by construction).
+func NewSharedGraph(g *graph.Graph) *SharedGraph {
+	return &SharedGraph{g: g, parts: make(map[partKey]*partition.Partitioned)}
+}
+
+// Graph returns the shared topology.
+func (s *SharedGraph) Graph() *graph.Graph { return s.g }
+
+// Partition returns the cached partition for the given membership, building
+// it on first use. Concurrent callers asking for the same key block on the
+// single build and then share the one result; the returned value must be
+// treated as read-only (fork before any Rebuild).
+func (s *SharedGraph) Partition(workers int, hashPlacement bool) *partition.Partitioned {
+	key := partKey{workers: workers, hash: hashPlacement}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.parts[key]; ok {
+		return p
+	}
+	var place partition.Placement
+	if hashPlacement {
+		place = partition.NewHash(s.g.NumVertices(), workers)
+	} else {
+		place = partition.NewRange(s.g.NumVertices(), workers)
+	}
+	p := partition.New(s.g, place)
+	s.parts[key] = p
+	return p
+}
+
+// Partitions returns the number of distinct partitions currently cached.
+func (s *SharedGraph) Partitions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.parts)
+}
+
+// privatizePart forks a catalog-shared partition into an engine-private copy
+// before the engine's first in-place mutation (Rebuild during cold restart or
+// resize rollback). The fork is shallow — the surviving workers' *Part
+// entries stay shared — but replacing the rebuilt entry no longer reaches
+// other engines borrowing the same partition. No-op for engines that built
+// their partition privately.
+func (e *Engine[V]) privatizePart() {
+	if e.partShared {
+		e.part = e.part.Fork()
+		e.partShared = false
+	}
+}
+
+// SharedBytes returns the resident footprint of every cached partition's
+// derived structures. Together with Graph().MemBytes() this is the memory a
+// catalog pays once per graph, independent of how many jobs run over it.
+func (s *SharedGraph) SharedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, p := range s.parts {
+		total += p.SharedBytes()
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"flash/graph"
+)
+
+// TestSharedPartitionPointerIdentity pins the engine split's core guarantee:
+// two engines borrowing the same SharedGraph at the same configuration hold
+// the very same partition object and slot tables — no per-job copy of any
+// graph-derived immutable state.
+func TestSharedPartitionPointerIdentity(t *testing.T) {
+	g := graph.GenRMAT(512, 2048, 11)
+	sh := NewSharedGraph(g)
+	e1 := mustEngine(t, g, Config{Workers: 4, Shared: sh})
+	e2 := mustEngine(t, g, Config{Workers: 4, Shared: sh})
+	if e1.part != e2.part {
+		t.Fatal("engines at the same configuration do not share the partition")
+	}
+	for w := range e1.workers {
+		if e1.workers[w].st != e2.workers[w].st {
+			t.Fatalf("worker %d slot tables are distinct objects", w)
+		}
+	}
+	if sh.Partitions() != 1 {
+		t.Fatalf("cache holds %d partitions, want 1", sh.Partitions())
+	}
+	// A different worker count is a different immutable layout: new cache
+	// entry, still shared by later engines asking for it.
+	e3 := mustEngine(t, g, Config{Workers: 2, Shared: sh})
+	e4 := mustEngine(t, g, Config{Workers: 2, Shared: sh})
+	if e3.part == e1.part {
+		t.Fatal("w=2 engine reuses the w=4 partition")
+	}
+	if e3.part != e4.part {
+		t.Fatal("w=2 engines do not share their partition")
+	}
+	if sh.Partitions() != 2 {
+		t.Fatalf("cache holds %d partitions, want 2", sh.Partitions())
+	}
+	if sh.SharedBytes() == 0 {
+		t.Fatal("SharedBytes reports zero for a populated cache")
+	}
+}
+
+// TestSharedPartitionConcurrentBuild races many engines into a cold cache:
+// exactly one partition must be built and everyone must share it.
+func TestSharedPartitionConcurrentBuild(t *testing.T) {
+	g := graph.GenErdosRenyi(256, 1024, 7)
+	sh := NewSharedGraph(g)
+	const n = 8
+	engines := make([]*Engine[bfsProps], n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := NewEngine[bfsProps](g, Config{Workers: 3, Shared: sh})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = e
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if engines[i] == nil || engines[0] == nil {
+			t.Fatal("engine construction failed")
+		}
+		if engines[i].part != engines[0].part {
+			t.Fatalf("engine %d built a private partition despite the shared cache", i)
+		}
+	}
+	for _, e := range engines {
+		if e != nil {
+			e.Close()
+		}
+	}
+	if sh.Partitions() != 1 {
+		t.Fatalf("cache holds %d partitions, want 1", sh.Partitions())
+	}
+}
+
+// TestSharedEnginesRunIndependently runs BFS concurrently on engines sharing
+// one partition and checks results match a private-partition run — shared
+// immutable state, fully isolated mutable state.
+func TestSharedEnginesRunIndependently(t *testing.T) {
+	g := graph.GenRMAT(512, 2048, 13)
+	want := seqBFS(g, 0)
+	sh := NewSharedGraph(g)
+	const jobs = 6
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := NewEngine[bfsProps](g, Config{Workers: 4, Threads: 2, Shared: sh})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer e.Close()
+			got := runBFS(e, 0, Auto)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("dist[%d]=%d want %d", v, got[v], want[v])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPrivatizePartForks pins the copy-on-write contract: a rebuild inside
+// one engine (cold restart, resize rollback) must not replace any Part the
+// shared cache hands to other engines.
+func TestPrivatizePartForks(t *testing.T) {
+	g := graph.GenErdosRenyi(128, 512, 5)
+	sh := NewSharedGraph(g)
+	e := mustEngine(t, g, Config{Workers: 3, Shared: sh})
+	shared := sh.Partition(3, false)
+	if e.part != shared {
+		t.Fatal("engine did not borrow the cached partition")
+	}
+	before := shared.Parts[1]
+	e.privatizePart()
+	if e.partShared {
+		t.Fatal("partShared still set after privatizePart")
+	}
+	if e.part == shared {
+		t.Fatal("privatizePart did not fork")
+	}
+	e.part.Rebuild(1)
+	if shared.Parts[1] != before {
+		t.Fatal("rebuild through the fork reached the shared partition")
+	}
+	if e.part.Parts[1] == before {
+		t.Fatal("fork still aliases the rebuilt entry")
+	}
+	// The rebuilt view must be equivalent — Rebuild is a pure function.
+	if err := e.part.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// privatizePart is idempotent.
+	forked := e.part
+	e.privatizePart()
+	if e.part != forked {
+		t.Fatal("second privatizePart forked again")
+	}
+}
+
+// TestSharedMismatchedGraph: the handle must wrap the engine's graph.
+func TestSharedMismatchedGraph(t *testing.T) {
+	g1 := graph.GenPath(10)
+	g2 := graph.GenPath(10)
+	sh := NewSharedGraph(g1)
+	_, err := NewEngine[bfsProps](g2, Config{Workers: 2, Shared: sh})
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want ConfigError", err)
+	}
+	if ce.Field != "Shared" {
+		t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, "Shared")
+	}
+}

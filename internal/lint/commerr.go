@@ -17,7 +17,7 @@ import (
 // forces the "this cannot fail here" argument into the source.
 var CommErr = &Analyzer{
 	Name: "commerr",
-	Doc:  "transport Send/EndRound/Drain/Resize and Engine.Run/Resize errors must be checked or //flash:ignore-err annotated",
+	Doc:  "transport Send/EndRound/Drain/Resize, Engine.Run/Resize, and serve Submit/Load/Evict errors must be checked or //flash:ignore-err annotated",
 	Run:  runCommErr,
 }
 
@@ -35,6 +35,9 @@ var commErrReceivers = map[string]bool{
 	"MemStore":        true, // core.MemStore
 	"FileStore":       true, // core.FileStore
 	"Resizer":         true, // comm.Resizer interface (membership changes)
+	"Catalog":         true, // serve.Catalog (graph load/evict surface)
+	"Server":          true, // serve.Server (job admission surface)
+	"Scheduler":       true, // serve.Scheduler (job admission surface)
 }
 
 var commErrMethods = map[string]bool{
@@ -45,6 +48,8 @@ var commErrMethods = map[string]bool{
 	"Save":     true, // a dropped Save error silently loses checkpoint durability
 	"Load":     true, // a dropped Load error restores from a phantom image
 	"Resize":   true, // a dropped Resize error leaves membership half-changed
+	"Submit":   true, // a dropped Submit error loses a typed admission rejection
+	"Evict":    true, // a dropped Evict error hides a stale catalog entry
 }
 
 func runCommErr(pass *Pass) error {

@@ -94,3 +94,44 @@ func others(n *NotATransport, s *Sender) {
 	n.Send(1)         // no diagnostic: no error result
 	s.Send(0, 1, nil) // no diagnostic: not a guarded receiver type
 }
+
+// The serve-layer stubs mirror flashd's admission and catalog fault
+// surfaces: a dropped Submit error loses a typed rejection (queue full,
+// quota, unknown graph), a dropped Load/Evict error desynchronizes the
+// catalog the jobs resolve against.
+type GraphSpec struct{}
+
+type Handle struct{}
+
+type Job struct{}
+
+type Catalog struct{}
+
+func (c *Catalog) Load(spec GraphSpec) (*Handle, error) { return nil, nil }
+func (c *Catalog) Evict(name string) error              { return nil }
+
+type Server struct{}
+
+func (s *Server) Submit(body []byte) (*Job, error) { return nil, nil }
+
+type Scheduler struct{}
+
+func (s *Scheduler) Submit(req *GraphSpec) (*Job, error) { return nil, nil }
+
+func badServe(c *Catalog, srv *Server, sch *Scheduler) {
+	c.Load(GraphSpec{})        // want `Catalog.Load error discarded`
+	_, _ = c.Load(GraphSpec{}) // want `Catalog.Load error assigned to _`
+	c.Evict("g")               // want `Catalog.Evict error discarded`
+	srv.Submit(nil)            // want `Server.Submit error discarded`
+	sch.Submit(nil)            // want `Scheduler.Submit error discarded`
+	defer c.Evict("g")         // want `Catalog.Evict error discarded by defer`
+}
+
+func goodServe(c *Catalog, srv *Server) error {
+	if _, err := c.Load(GraphSpec{}); err != nil {
+		return err
+	}
+	c.Evict("g") //flash:ignore-err eviction during shutdown is best-effort
+	_, err := srv.Submit(nil)
+	return err
+}

@@ -256,6 +256,44 @@ func (p *Partitioned) Rebuild(w int) *Part {
 // Workers returns the number of workers.
 func (p *Partitioned) Workers() int { return p.Place.Workers() }
 
+// Fork returns a shallow copy of p whose Parts slice is private: the *Part
+// entries are shared (they are read-only in steady state) but replacing one —
+// which is all Rebuild does — no longer reaches other holders of the
+// original. Engines running over a catalog-shared partition fork it before
+// the first Rebuild (cold restart, resize rollback), so a job recovering from
+// a worker loss can never race another job reading the shared layout.
+func (p *Partitioned) Fork() *Partitioned {
+	return &Partitioned{
+		G:      p.G,
+		Place:  p.Place,
+		Parts:  append([]*Part(nil), p.Parts...),
+		nTotal: p.nTotal,
+	}
+}
+
+// SharedBytes returns the resident footprint of the partition's derived
+// structures: per-worker mirror bitsets, mirror-worker lists, and slot-table
+// auxiliaries. This is the memory a graph catalog pays once per (graph,
+// placement) no matter how many concurrent jobs share the partition — the
+// counterpart of Engine.StateBytes, which is paid per job.
+func (p *Partitioned) SharedBytes() uint64 {
+	var total uint64
+	for _, part := range p.Parts {
+		if part == nil {
+			continue
+		}
+		total += uint64(len(part.Mirrors.Words())) * 8
+		total += uint64(cap(part.MirrorWorkers)) * 24 // slice headers
+		for _, ws := range part.MirrorWorkers {
+			total += uint64(cap(ws)) * 8
+		}
+		if part.Slots != nil {
+			total += part.Slots.AuxBytes()
+		}
+	}
+	return total
+}
+
 // ReplicationFactor returns the average number of copies (master + mirrors)
 // per vertex, a standard partitioning quality metric.
 func (p *Partitioned) ReplicationFactor() float64 {

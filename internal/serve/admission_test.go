@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flash"
+	"flash/graph"
+)
+
+// registerBlockingAlgo installs a test-only algorithm that parks until
+// release is closed, giving admission tests deterministic control over slot
+// occupancy. Removed again on test cleanup.
+func registerBlockingAlgo(t *testing.T, name string) (release chan struct{}) {
+	t.Helper()
+	release = make(chan struct{})
+	algoRegistry[name] = algoSpec{run: func(g *graph.Graph, p JobParams, opts []flash.Option) (any, error) {
+		<-release
+		return []int32{}, nil
+	}}
+	t.Cleanup(func() { delete(algoRegistry, name) })
+	return release
+}
+
+func admissionServer(t *testing.T, sched SchedulerConfig) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Scheduler: sched,
+		Preload:   []GraphSpec{{Name: "g", Gen: "er", N: 64, M: 256, Seed: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestAdmissionQueueFull pins the bounded-queue rejection: one slot, queue
+// depth one — the third submission must be a QueueFullError carrying the
+// configured depth, and draining must make room again.
+func TestAdmissionQueueFull(t *testing.T) {
+	release := registerBlockingAlgo(t, "block")
+	srv := admissionServer(t, SchedulerConfig{MaxConcurrent: 1, QueueDepth: 1})
+	defer func() {
+		close(release)
+		srv.Close()
+	}()
+
+	running, err := srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "block"})
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("third submission: got %v, want QueueFullError", err)
+	}
+	if qf.Depth != 1 {
+		t.Fatalf("QueueFullError.Depth = %d, want 1", qf.Depth)
+	}
+	if HTTPStatus(err) != http.StatusTooManyRequests || ErrorCode(err) != "queue_full" {
+		t.Fatalf("mapping = %d/%s", HTTPStatus(err), ErrorCode(err))
+	}
+
+	if r, q := srv.Scheduler().Depth(); r != 1 || q != 1 {
+		t.Fatalf("Depth() = %d running, %d queued", r, q)
+	}
+	// The queued→running transition happens on the scheduler goroutine.
+	deadline := time.Now().Add(10 * time.Second)
+	for running.State() != JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("first job state = %s, never reached running", running.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if queued.State() != JobQueued {
+		t.Fatalf("second job state = %s, want queued", queued.State())
+	}
+}
+
+// TestAdmissionTenantQuota pins per-tenant quota rejection with full field
+// assertions, and that other tenants are unaffected.
+func TestAdmissionTenantQuota(t *testing.T) {
+	release := registerBlockingAlgo(t, "block")
+	srv := admissionServer(t, SchedulerConfig{MaxConcurrent: 4, QueueDepth: 8, TenantQuota: 2})
+	defer func() {
+		close(release)
+		srv.Close()
+	}()
+
+	for i := 0; i < 2; i++ {
+		if _, err := srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "block", Tenant: "acme"}); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	_, err := srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "block", Tenant: "acme"})
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("got %v, want QuotaError", err)
+	}
+	if qe.Tenant != "acme" || qe.Limit != 2 || qe.InFlight != 2 {
+		t.Fatalf("QuotaError = %+v", qe)
+	}
+	if HTTPStatus(err) != http.StatusTooManyRequests || ErrorCode(err) != "quota_exceeded" {
+		t.Fatalf("mapping = %d/%s", HTTPStatus(err), ErrorCode(err))
+	}
+	// Another tenant still has room.
+	if _, err := srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "block", Tenant: "other"}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+}
+
+// TestAdmissionEvictedGraph: a job naming an evicted graph is rejected at
+// submission with a typed UnknownGraphError.
+func TestAdmissionEvictedGraph(t *testing.T) {
+	srv := admissionServer(t, SchedulerConfig{})
+	defer srv.Close()
+	if err := srv.Catalog().Evict("g"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.SubmitRequest(&JobRequest{Graph: "g", Algo: "cc"})
+	var ug *UnknownGraphError
+	if !errors.As(err, &ug) {
+		t.Fatalf("got %v, want UnknownGraphError", err)
+	}
+	if ug.Graph != "g" {
+		t.Fatalf("UnknownGraphError.Graph = %q", ug.Graph)
+	}
+	if HTTPStatus(err) != http.StatusNotFound || ErrorCode(err) != "unknown_graph" {
+		t.Fatalf("mapping = %d/%s", HTTPStatus(err), ErrorCode(err))
+	}
+}
+
+// TestAdmissionClosedServer: submissions after Close get ErrServerClosed.
+func TestAdmissionClosedServer(t *testing.T) {
+	srv := admissionServer(t, SchedulerConfig{})
+	srv.Close()
+	_, err := srv.Submit([]byte(`{"graph":"g","algo":"cc"}`))
+	if !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("got %v, want ErrServerClosed", err)
+	}
+	if HTTPStatus(err) != http.StatusServiceUnavailable || ErrorCode(err) != "server_closed" {
+		t.Fatalf("mapping = %d/%s", HTTPStatus(err), ErrorCode(err))
+	}
+}
+
+// TestParseJobRequestRejections pins the parser's typed rejections field by
+// field — the same taxonomy the fuzz corpus seeds.
+func TestParseJobRequestRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		field string // RequestError.Field, or "" when another type is expected
+	}{
+		{"malformed json", `{"graph":`, "body"},
+		{"trailing data", `{"graph":"g","algo":"cc"}garbage`, "body"},
+		{"unknown field", `{"graph":"g","algo":"cc","color":"red"}`, "body"},
+		{"missing graph", `{"algo":"cc"}`, "graph"},
+		{"missing algo", `{"graph":"g"}`, "algo"},
+		{"nan eps", `{"graph":"g","algo":"pagerank","params":{"eps":NaN}}`, "body"},
+		{"huge root", `{"graph":"g","algo":"bfs","params":{"root":4294967296}}`, "root"},
+		{"missing root", `{"graph":"g","algo":"bfs"}`, "root"},
+		{"bad max_iters", `{"graph":"g","algo":"pagerank","params":{"max_iters":0}}`, "max_iters"},
+		{"negative eps", `{"graph":"g","algo":"pagerank","params":{"eps":-1}}`, "eps"},
+		{"bad workers", `{"graph":"g","algo":"cc","params":{"workers":0}}`, "workers"},
+		{"resize half set", `{"graph":"g","algo":"cc","params":{"resize_at":2}}`, "resize_at"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseJobRequest([]byte(tc.body))
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("got %v, want RequestError", err)
+			}
+			if re.Field != tc.field {
+				t.Fatalf("RequestError.Field = %q, want %q", re.Field, tc.field)
+			}
+			if HTTPStatus(err) != http.StatusBadRequest || ErrorCode(err) != "bad_request" {
+				t.Fatalf("mapping = %d/%s", HTTPStatus(err), ErrorCode(err))
+			}
+		})
+	}
+
+	_, err := ParseJobRequest([]byte(`{"graph":"g","algo":"quantum"}`))
+	var ua *UnknownAlgoError
+	if !errors.As(err, &ua) {
+		t.Fatalf("got %v, want UnknownAlgoError", err)
+	}
+	if ua.Algo != "quantum" {
+		t.Fatalf("UnknownAlgoError.Algo = %q", ua.Algo)
+	}
+	if HTTPStatus(err) != http.StatusBadRequest || ErrorCode(err) != "unknown_algo" {
+		t.Fatalf("mapping = %d/%s", HTTPStatus(err), ErrorCode(err))
+	}
+}
+
+// TestHTTPErrorEnvelopes drives the rejection paths over HTTP and asserts
+// status codes and flattened envelope fields.
+func TestHTTPErrorEnvelopes(t *testing.T) {
+	release := registerBlockingAlgo(t, "block")
+	srv := admissionServer(t, SchedulerConfig{MaxConcurrent: 1, QueueDepth: 1, TenantQuota: 1})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		close(release)
+		srv.Close()
+	}()
+
+	post := func(body string) (int, errorBody) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var env errorBody
+		if resp.StatusCode >= 400 {
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatalf("error body %q: %v", data, err)
+			}
+		}
+		return resp.StatusCode, env
+	}
+
+	// Malformed request → 400 bad_request.
+	code, env := post(`{"graph":`)
+	if code != http.StatusBadRequest || env.Code != "bad_request" || env.Field != "body" {
+		t.Fatalf("malformed: %d %+v", code, env)
+	}
+	// Unknown algo → 400 unknown_algo with the algo named.
+	code, env = post(`{"graph":"g","algo":"quantum"}`)
+	if code != http.StatusBadRequest || env.Code != "unknown_algo" || env.Algo != "quantum" {
+		t.Fatalf("unknown algo: %d %+v", code, env)
+	}
+	// Unknown graph → 404 unknown_graph.
+	code, env = post(`{"graph":"ghost","algo":"cc"}`)
+	if code != http.StatusNotFound || env.Code != "unknown_graph" || env.Graph != "ghost" {
+		t.Fatalf("unknown graph: %d %+v", code, env)
+	}
+	// Occupy the slot (tenant a), fill the queue (tenant b), then overflow
+	// (tenant c) → 429 queue_full; quota bust for tenant a → 429
+	// quota_exceeded.
+	if code, env = post(`{"graph":"g","algo":"block","tenant":"a"}`); code != http.StatusAccepted {
+		t.Fatalf("occupy: %d %+v", code, env)
+	}
+	if code, env = post(`{"graph":"g","algo":"block","tenant":"b"}`); code != http.StatusAccepted {
+		t.Fatalf("queue: %d %+v", code, env)
+	}
+	code, env = post(`{"graph":"g","algo":"block","tenant":"c"}`)
+	if code != http.StatusTooManyRequests || env.Code != "queue_full" || env.Depth != 1 {
+		t.Fatalf("queue full: %d %+v", code, env)
+	}
+	code, env = post(`{"graph":"g","algo":"block","tenant":"a"}`)
+	if code != http.StatusTooManyRequests || env.Code != "quota_exceeded" || env.Tenant != "a" || env.Limit != 1 {
+		t.Fatalf("quota: %d %+v", code, env)
+	}
+	// Duplicate graph load → 409 duplicate_graph.
+	resp, err := http.Post(hs.URL+"/v1/graphs", "application/json",
+		strings.NewReader(`{"name":"g","gen":"path","n":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var dupEnv errorBody
+	if err := json.Unmarshal(data, &dupEnv); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict || dupEnv.Code != "duplicate_graph" || dupEnv.Graph != "g" {
+		t.Fatalf("duplicate load: %d %+v", resp.StatusCode, dupEnv)
+	}
+	// Unknown job id → 404 unknown_job.
+	gresp, err := http.Get(hs.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	var jobEnv errorBody
+	if err := json.Unmarshal(data, &jobEnv); err != nil {
+		t.Fatal(err)
+	}
+	if gresp.StatusCode != http.StatusNotFound || jobEnv.Code != "unknown_job" || jobEnv.Job != "job-999" {
+		t.Fatalf("unknown job: %d %+v", gresp.StatusCode, jobEnv)
+	}
+}

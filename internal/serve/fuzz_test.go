@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzParseJobRequest hammers the job-request parser: whatever the bytes,
+// it must return either a fully-validated request or a typed error — never
+// panic, never an "internal" classification. Accepted requests must survive
+// a marshal→reparse round trip unchanged (the HTTP layer re-encodes job
+// requests into status payloads).
+func FuzzParseJobRequest(f *testing.F) {
+	// The corpus under testdata/fuzz/FuzzParseJobRequest mirrors these seeds;
+	// both feed the same generator.
+	f.Add([]byte(`{"graph":"g","algo":"bfs","params":{"root":0}}`))
+	f.Add([]byte(`{"graph":"g","algo":"quantum"}`))
+	f.Add([]byte(`{"graph":"g","algo":"pagerank","params":{"eps":NaN}}`))
+	f.Add([]byte(`{"graph":"g","algo":"bfs","params":{"root":18446744073709551615}}`))
+	f.Add([]byte(`{"graph":"g","algo":`))
+	f.Add([]byte(`{"graph":"g","algo":"sssp","params":{"root":7,"tcp":true,"workers":2}}`))
+	f.Add([]byte(`{"graph":"g","algo":"cc","params":{"resize_at":2,"resize_to":5}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := ParseJobRequest(body)
+		if err != nil {
+			if req != nil {
+				t.Fatal("non-nil request returned alongside an error")
+			}
+			var re *RequestError
+			var ua *UnknownAlgoError
+			if !errors.As(err, &re) && !errors.As(err, &ua) {
+				t.Fatalf("untyped parser error: %T %v", err, err)
+			}
+			if code := ErrorCode(err); code == "internal" {
+				t.Fatalf("parser rejection classified internal: %v", err)
+			}
+			return
+		}
+		if req.Graph == "" || req.Algo == "" {
+			t.Fatalf("accepted request with empty identity: %+v", req)
+		}
+		spec, ok := algoRegistry[req.Algo]
+		if !ok {
+			t.Fatalf("accepted unknown algo %q", req.Algo)
+		}
+		if req.Params.Root != nil && *req.Params.Root > maxRoot {
+			t.Fatalf("accepted out-of-range root %d", *req.Params.Root)
+		}
+		if spec.needsRoot && req.Params.Root == nil {
+			t.Fatalf("accepted %q without its required root", req.Algo)
+		}
+		if (req.Params.ResizeAt == nil) != (req.Params.ResizeTo == nil) {
+			t.Fatal("accepted half-specified resize")
+		}
+		// Round trip: re-encode and re-parse; the result must be identical.
+		again, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		req2, err := ParseJobRequest(again)
+		if err != nil {
+			t.Fatalf("re-parse of accepted request failed: %v\nbody: %s", err, again)
+		}
+		b1, _ := json.Marshal(req)
+		b2, _ := json.Marshal(req2)
+		if string(b1) != string(b2) {
+			t.Fatalf("round trip changed the request:\n%s\n%s", b1, b2)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; a job request is a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// jobStatus is the JSON view of a job returned by the jobs endpoints.
+type jobStatus struct {
+	ID     string     `json:"id"`
+	Tenant string     `json:"tenant,omitempty"`
+	Graph  string     `json:"graph"`
+	Algo   string     `json:"algo"`
+	State  JobState   `json:"state"`
+	Result *JobResult `json:"result,omitempty"`
+	Error  *errorBody `json:"error,omitempty"`
+}
+
+func statusOf(j *Job) jobStatus {
+	st := jobStatus{
+		ID:     j.ID,
+		Tenant: j.Tenant,
+		Graph:  j.Req.Graph,
+		Algo:   j.Req.Algo,
+		State:  j.State(),
+	}
+	if res, err := j.Result(); err != nil {
+		body := errorEnvelope(err)
+		st.Error = &body
+	} else if res != nil {
+		st.Result = res
+	}
+	return st
+}
+
+// Handler returns the HTTP/JSON API over the server:
+//
+//	POST   /v1/graphs        load a GraphSpec into the catalog
+//	GET    /v1/graphs        list catalog entries with memory accounting
+//	DELETE /v1/graphs/{name} evict a graph
+//	POST   /v1/jobs          submit a JobRequest (202 + job id)
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status; ?wait=30s blocks until terminal
+//	GET    /v1/metrics       service metrics snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleLoadGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvictGraph)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, HTTPStatus(err), errorEnvelope(err))
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, &RequestError{Field: "body", Reason: err.Error()})
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var spec GraphSpec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, &RequestError{Field: "body", Reason: err.Error()})
+		return
+	}
+	h, err := s.cat.Load(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	g := h.Graph()
+	writeJSON(w, http.StatusCreated, GraphInfo{
+		Name:        spec.Name,
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Directed:    g.Directed(),
+		Weighted:    g.Weighted(),
+		GraphBytes:  h.GraphBytes(),
+		SharedBytes: h.SharedBytes(),
+		Partitions:  h.Partitions(),
+	})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cat.List())
+}
+
+func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.cat.Evict(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.Submit(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusOf(job))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.List()
+	out := make([]jobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = statusOf(j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if waitSpec := r.URL.Query().Get("wait"); waitSpec != "" {
+		d, err := time.ParseDuration(waitSpec)
+		if err != nil {
+			writeError(w, &RequestError{Field: "wait", Reason: err.Error()})
+			return
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, statusOf(job))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

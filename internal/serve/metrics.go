@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics is the service-level counter set behind GET /v1/metrics. It counts
+// admissions and outcomes; engine-level counters stay per-job in JobResult.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	submit    uint64
+	done      uint64
+	failed    uint64
+	rejected  map[string]uint64 // ErrorCode → count
+	busyNanos int64             // summed job wall time
+}
+
+// NewMetrics returns an empty metrics set with the uptime clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), rejected: make(map[string]uint64)}
+}
+
+func (m *Metrics) submitted() {
+	m.mu.Lock()
+	m.submit++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) finished(ok bool, elapsed time.Duration) {
+	m.mu.Lock()
+	if ok {
+		m.done++
+	} else {
+		m.failed++
+	}
+	m.busyNanos += elapsed.Nanoseconds()
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reject(err error) {
+	m.mu.Lock()
+	m.rejected[ErrorCode(err)]++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape of GET /v1/metrics. JobsPerSec is
+// completed jobs over uptime — the number the bench-smoke serve section
+// records.
+type MetricsSnapshot struct {
+	UptimeNs   int64             `json:"uptime_ns"`
+	Submitted  uint64            `json:"submitted"`
+	Completed  uint64            `json:"completed"`
+	Failed     uint64            `json:"failed"`
+	Rejected   map[string]uint64 `json:"rejected,omitempty"`
+	JobsPerSec float64           `json:"jobs_per_sec"`
+	BusyNs     int64             `json:"busy_ns"`
+	Running    int               `json:"running"`
+	Queued     int               `json:"queued"`
+	// Catalog-side accounting: immutable bytes paid once per graph.
+	Graphs          int    `json:"graphs"`
+	GraphBytes      uint64 `json:"graph_bytes"`
+	SharedPartBytes uint64 `json:"shared_part_bytes"`
+}
+
+// Snapshot captures the counters; running/queued/catalog fields are filled
+// by the server, which owns those components.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := time.Since(m.start)
+	snap := MetricsSnapshot{
+		UptimeNs:  up.Nanoseconds(),
+		Submitted: m.submit,
+		Completed: m.done,
+		Failed:    m.failed,
+		BusyNs:    m.busyNanos,
+	}
+	if len(m.rejected) > 0 {
+		snap.Rejected = make(map[string]uint64, len(m.rejected))
+		for code, n := range m.rejected {
+			snap.Rejected[code] = n
+		}
+	}
+	if secs := up.Seconds(); secs > 0 {
+		snap.JobsPerSec = float64(m.done) / secs
+	}
+	return snap
+}

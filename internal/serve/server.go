@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"sync"
+)
+
+// ServerConfig configures a flashd server instance.
+type ServerConfig struct {
+	Scheduler SchedulerConfig
+	// Preload is loaded into the catalog before the server accepts requests;
+	// a bad spec fails NewServer.
+	Preload []GraphSpec
+}
+
+// Server is the flashd service core, transport-agnostic: a graph catalog, a
+// bounded job scheduler, and service metrics. The HTTP layer (http.go) is a
+// thin translation onto it, so tests can drive the same surface in-process.
+type Server struct {
+	cat   *Catalog
+	sched *Scheduler
+	met   *Metrics
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer builds a server, loading any preload graphs.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cat := NewCatalog()
+	for _, spec := range cfg.Preload {
+		if _, err := cat.Load(spec); err != nil {
+			return nil, err
+		}
+	}
+	met := NewMetrics()
+	return &Server{
+		cat:   cat,
+		sched: NewScheduler(cfg.Scheduler, cat, met),
+		met:   met,
+	}, nil
+}
+
+// Catalog exposes the graph catalog.
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Scheduler exposes the job scheduler.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Submit parses and admits a raw job request body — the one entry point both
+// transports (in-process and HTTP) share, so the golden equivalence matrix
+// exercises identical code either way.
+func (s *Server) Submit(body []byte) (*Job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.mu.Unlock()
+	req, err := ParseJobRequest(body)
+	if err != nil {
+		s.met.reject(err)
+		return nil, err
+	}
+	return s.sched.Submit(req)
+}
+
+// SubmitRequest admits an already-parsed request.
+func (s *Server) SubmitRequest(req *JobRequest) (*Job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.mu.Unlock()
+	return s.sched.Submit(req)
+}
+
+// Metrics returns the service metrics snapshot with live load and catalog
+// accounting filled in.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.met.Snapshot()
+	snap.Running, snap.Queued = s.sched.Depth()
+	infos := s.cat.List()
+	snap.Graphs = len(infos)
+	snap.GraphBytes, snap.SharedPartBytes = s.cat.Bytes()
+	return snap
+}
+
+// Close stops admission and drains in-flight jobs. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.sched.Close()
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// soakSpec is the one shared graph every soak job runs over. Weighted so the
+// mix can include SSSP; weights are ignored by the unweighted algorithms.
+func soakSpec() GraphSpec {
+	return GraphSpec{Name: "shared", Gen: "er", N: 300, M: 1200, Seed: 9, Weighted: true}
+}
+
+// soakRequests is the concurrent job mix: ≥16 jobs cycling through
+// BFS/CC/PageRank/SSSP with varying parameters, every fourth job carrying a
+// scripted mid-run resize (PageRank, whose fixed iteration count guarantees
+// the resize superstep is reached).
+func soakRequests() []*JobRequest {
+	const jobs = 20
+	reqs := make([]*JobRequest, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		req := &JobRequest{Graph: "shared", Tenant: fmt.Sprintf("t%d", i%3)}
+		switch i % 4 {
+		case 0:
+			root := uint64(i % 7)
+			req.Algo = "bfs"
+			req.Params = JobParams{Root: &root}
+		case 1:
+			req.Algo = "cc"
+		case 2:
+			iters, eps := 6, 0.0
+			at, to := 3, 5
+			req.Algo = "pagerank"
+			req.Params = JobParams{MaxIters: &iters, Eps: &eps, ResizeAt: &at, ResizeTo: &to}
+		case 3:
+			root := uint64(i % 11)
+			req.Algo = "sssp"
+			req.Params = JobParams{Root: &root}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+// TestConcurrentJobsSoak runs the full mix concurrently over one shared
+// catalog graph — interleaved with catalog load/evict churn — and asserts
+// complete isolation: every job succeeds, pays its own StateBytes, and
+// produces output byte-identical to the same request run serially on a
+// one-slot server. Run under -race in CI, this is the cross-job state-bleed
+// detector for the shared-immutable/private-mutable engine split.
+func TestConcurrentJobsSoak(t *testing.T) {
+	reqs := soakRequests()
+
+	// Serial baseline: one slot, so jobs cannot overlap.
+	serial, err := NewServer(ServerConfig{
+		Scheduler: SchedulerConfig{MaxConcurrent: 1, QueueDepth: len(reqs), Workers: 3},
+		Preload:   []GraphSpec{soakSpec()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	want := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		r := *req
+		job, err := serial.SubmitRequest(&r)
+		if err != nil {
+			t.Fatalf("serial submit %d: %v", i, err)
+		}
+		<-job.Done()
+		res, err := job.Result()
+		if err != nil {
+			t.Fatalf("serial job %d (%s): %v", i, req.Algo, err)
+		}
+		want[i], err = json.Marshal(res.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent run: 8 slots, all jobs submitted at once from goroutines.
+	srv, err := NewServer(ServerConfig{
+		Scheduler: SchedulerConfig{MaxConcurrent: 8, QueueDepth: len(reqs), Workers: 3},
+		Preload:   []GraphSpec{soakSpec()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sharedHandle, err := srv.Catalog().Get("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := make([]*Job, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req JobRequest) {
+			defer wg.Done()
+			job, err := srv.SubmitRequest(&req)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			jobs[i] = job
+		}(i, *req)
+	}
+
+	// Catalog churn while the soak jobs run: load a scratch graph, run a
+	// quick job on it, evict it mid-flight. The job's handle was resolved at
+	// admission, so eviction must never fail it.
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for round := 0; round < 6; round++ {
+			name := fmt.Sprintf("scratch-%d", round)
+			if _, err := srv.Catalog().Load(GraphSpec{Name: name, Gen: "path", N: 64}); err != nil {
+				t.Errorf("churn load %s: %v", name, err)
+				return
+			}
+			job, err := srv.SubmitRequest(&JobRequest{Graph: name, Algo: "cc"})
+			if err != nil {
+				t.Errorf("churn submit on %s: %v", name, err)
+				return
+			}
+			if err := srv.Catalog().Evict(name); err != nil {
+				t.Errorf("churn evict %s: %v", name, err)
+				return
+			}
+			<-job.Done()
+			if _, err := job.Result(); err != nil {
+				t.Errorf("churn job on evicted %s failed: %v", name, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-churnDone
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, job := range jobs {
+		<-job.Done()
+		res, err := job.Result()
+		if err != nil {
+			t.Fatalf("job %d (%s): %v", i, reqs[i].Algo, err)
+		}
+		// Each job pays for its own private mutable state...
+		if res.StateBytes == 0 {
+			t.Errorf("job %d (%s): zero StateBytes", i, reqs[i].Algo)
+		}
+		// ...and scripted resizes happened inside the jobs that asked.
+		if reqs[i].Params.ResizeAt != nil && res.Resizes == 0 {
+			t.Errorf("job %d (%s): scripted resize never fired", i, reqs[i].Algo)
+		}
+		got, err := json.Marshal(res.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("job %d (%s): concurrent output differs from serial run\nconcurrent: %.160s\nserial:     %.160s",
+				i, reqs[i].Algo, got, want[i])
+		}
+	}
+
+	// All non-resized jobs borrowed the one cached partition (workers=3);
+	// resizes build private partitions and must not pollute the cache.
+	if n := sharedHandle.Partitions(); n != 1 {
+		t.Errorf("shared graph caches %d partitions, want 1", n)
+	}
+}
