@@ -94,21 +94,25 @@ type ResizeStat struct {
 
 // PerfSuite is the full BENCH_flash.json document.
 type PerfSuite struct {
-	Schema     string                  `json:"schema"`
-	Graph      string                  `json:"graph"`
-	Vertices   int                     `json:"vertices"`
-	Edges      int                     `json:"edges"`
-	GraphXL    string                  `json:"graph_xl,omitempty"`
-	VerticesXL int                     `json:"vertices_xl,omitempty"`
-	EdgesXL    int                     `json:"edges_xl,omitempty"`
-	GoMaxProcs int                     `json:"go_maxprocs"`
-	Reps       int                     `json:"reps"`
-	Micro      map[string]MicroStat    `json:"micro"`
-	Mem        map[string]MemStat      `json:"mem,omitempty"`
-	Recovery   map[string]RecoveryStat `json:"recovery,omitempty"`
-	Resize     map[string]ResizeStat   `json:"resize,omitempty"`
-	Serve      map[string]ServeStat    `json:"serve,omitempty"`
-	Suite      []PerfCell              `json:"suite"`
+	Schema      string                  `json:"schema"`
+	Graph       string                  `json:"graph"`
+	Vertices    int                     `json:"vertices"`
+	Edges       int                     `json:"edges"`
+	GraphXL     string                  `json:"graph_xl,omitempty"`
+	VerticesXL  int                     `json:"vertices_xl,omitempty"`
+	EdgesXL     int                     `json:"edges_xl,omitempty"`
+	GraphXXL    string                  `json:"graph_xxl,omitempty"`
+	VerticesXXL int                     `json:"vertices_xxl,omitempty"`
+	EdgesXXL    int                     `json:"edges_xxl,omitempty"`
+	GoMaxProcs  int                     `json:"go_maxprocs"`
+	Reps        int                     `json:"reps"`
+	Micro       map[string]MicroStat    `json:"micro"`
+	Mem         map[string]MemStat      `json:"mem,omitempty"`
+	Recovery    map[string]RecoveryStat `json:"recovery,omitempty"`
+	Resize      map[string]ResizeStat   `json:"resize,omitempty"`
+	Serve       map[string]ServeStat    `json:"serve,omitempty"`
+	Ooc         map[string]OOCStat      `json:"ooc,omitempty"`
+	Suite       []PerfCell              `json:"suite"`
 }
 
 // MicroSparse benchmarks one sparse (push-mode) EdgeMap superstep on the OR
@@ -209,10 +213,10 @@ func legacyStateBytes(n, workers, threads int, vsz uint64) uint64 {
 		if w < n%workers {
 			lc++
 		}
-		total += uint64(n) * vsz                                // cur
-		total += uint64(threads) * (uint64(n)*vsz + words(n))   // acc shards
-		total += 2 * uint64(lc) * vsz                           // next + pendVal
-		total += 2*words(lc) + words(n)                         // nextSet + pendSet + frontier
+		total += uint64(n) * vsz                              // cur
+		total += uint64(threads) * (uint64(n)*vsz + words(n)) // acc shards
+		total += 2 * uint64(lc) * vsz                         // next + pendVal
+		total += 2*words(lc) + words(n)                       // nextSet + pendSet + frontier
 	}
 	return total
 }
@@ -329,7 +333,10 @@ func fixedAlgos(g, weighted *graph.Graph) []perfAlgo {
 // FixedSuite runs the whole grid with one warmup plus reps timed repetitions
 // per cell and returns the populated document.
 func FixedSuite(reps int) (*PerfSuite, error) {
-	if reps < 1 {
+	// Median-of-reps needs at least three samples to be a median at all; a
+	// single-rep "median" is whatever the scheduler did that run, and the
+	// committed baseline would inherit the noise.
+	if reps < 3 {
 		reps = 3
 	}
 	g := graph.GenRMAT(4096, 4096*12, 101)
@@ -413,6 +420,17 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 			s.Suite = append(s.Suite, cell)
 		}
 	}
+	// XXL tier: an order of magnitude more edges than XL, served from a
+	// FLASHBLK file through the bounded block cache instead of resident CSR.
+	xxl := GenXXL()
+	s.GraphXXL = "rmat-65536x36-seed101 (XXL tier, out-of-core)"
+	s.VerticesXXL = xxl.NumVertices()
+	s.EdgesXXL = xxl.NumEdges()
+	ooc, err := MeasureOOC(xxl, 0, reps)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: %w", err)
+	}
+	s.Ooc = ooc
 	return s, nil
 }
 
@@ -544,9 +562,20 @@ func PrintPerf(w io.Writer, s *PerfSuite) {
 	sort.Strings(svKeys)
 	for _, k := range svKeys {
 		sv := s.Serve[k]
-		fmt.Fprintf(w, "%-28s %3d jobs @ c%-2d %10.2f jobs/sec (batch %7.1fms, %d graph B + %d shared B once)\n",
+		fmt.Fprintf(w, "%-28s %3d jobs @ c%-2d %10.2f jobs/sec (batch %7.1fms, %d graph B + %d shared B once, procs=%d)\n",
 			k, sv.Jobs, sv.Concurrency, sv.JobsPerSec,
-			float64(sv.ElapsedNs)/1e6, sv.GraphBytes, sv.SharedBytes)
+			float64(sv.ElapsedNs)/1e6, sv.GraphBytes, sv.SharedBytes, sv.GoMaxProcs)
+	}
+	oocKeys := make([]string, 0, len(s.Ooc))
+	for k := range s.Ooc {
+		oocKeys = append(oocKeys, k)
+	}
+	sort.Strings(oocKeys)
+	for _, k := range oocKeys {
+		o := s.Ooc[k]
+		fmt.Fprintf(w, "%-28s %12d ns/op ooc vs %12d inmem  hit %5.1f%% %6d evicts  %8d B/dense-step %8d B/sparse-step  resident %d B vs %d B CSR\n",
+			k, o.NsPerOp, o.InMemNsPerOp, o.CacheHitRate*100, o.Evictions,
+			o.BytesPerDenseStep, o.BytesPerSparseStep, o.ResidentBytes, o.InMemBytes)
 	}
 	for _, c := range s.Suite {
 		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -19,13 +20,26 @@ type ServeStat struct {
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 	GraphBytes  uint64  `json:"graph_bytes"`
 	SharedBytes uint64  `json:"shared_bytes"`
+	// GoMaxProcs is the parallelism the batch actually ran at. Concurrent
+	// scheduling cannot beat serial on one OS thread, so the harness raises
+	// GOMAXPROCS to at least serveMinProcs for the measurement and records
+	// the value here — a c4-vs-c1 comparison is only meaningful at >= 4.
+	GoMaxProcs int `json:"go_maxprocs"`
 }
+
+// serveMinProcs is the floor MeasureServe enforces: the c4 cell needs at
+// least 4 schedulable threads before concurrent jobs can overlap at all.
+const serveMinProcs = 4
 
 // MeasureServe runs the fixed flashd smoke batch: one shared catalog graph,
 // a BFS/CC/PageRank/SSSP job mix submitted all at once, maxConcurrent
 // execution slots. Returns batch wall time and jobs/sec.
 func MeasureServe(maxConcurrent int) (ServeStat, error) {
 	const jobs = 24
+	if prev := runtime.GOMAXPROCS(0); prev < serveMinProcs {
+		runtime.GOMAXPROCS(serveMinProcs)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Scheduler: serve.SchedulerConfig{
 			MaxConcurrent: maxConcurrent,
@@ -102,5 +116,6 @@ func MeasureServe(maxConcurrent int) (ServeStat, error) {
 		JobsPerSec:  float64(jobs) / elapsed.Seconds(),
 		GraphBytes:  gb,
 		SharedBytes: sb,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}, nil
 }

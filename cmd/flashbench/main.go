@@ -35,7 +35,7 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset abbreviations (default all)")
 		lpaIter  = flag.Int("lpa-iters", 10, "LPA iterations")
 		clK      = flag.Int("cl-k", 4, "clique size for CL")
-		reps     = flag.Int("reps", 3, "timed repetitions per fixed-suite cell")
+		reps     = flag.Int("reps", 3, "timed repetitions per fixed-suite cell (clamped to >= 3; the median is reported)")
 		out      = flag.String("out", "BENCH_flash.json", "output path for -exp fixed")
 	)
 	flag.Parse()

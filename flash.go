@@ -114,6 +114,27 @@ func WithoutNecessaryMirrors() Option {
 // WithCollector directs runtime metrics into col.
 func WithCollector(col *metrics.Collector) Option { return func(c *core.Config) { c.Collector = col } }
 
+// ---- out-of-core block backend ----
+
+// WithBlockBackend routes the engine's base edge set E through an
+// out-of-core FLASHBLK block graph: edge iteration reads varint-delta
+// compressed, CRC-checked blocks through a bounded per-worker cache instead
+// of in-memory CSR rows, so graphs larger than RAM run unchanged. The graph
+// passed to NewEngine must be bg.Skeleton(). Dense supersteps stream the
+// worker's blocks sequentially; sparse supersteps read only blocks containing
+// active sources (per-block frontier-residency bitmaps).
+func WithBlockBackend(bg *graph.BlockGraph) Option {
+	return func(c *core.Config) { c.BlockGraph = bg }
+}
+
+// WithBlockCacheBytes bounds the decoded-block cache budget shared evenly by
+// the engine's workers (default: 25% of the graph's decoded edge bytes,
+// minimum 1 MiB). Only meaningful with WithBlockBackend or a block-graph
+// handle.
+func WithBlockCacheBytes(n int64) Option {
+	return func(c *core.Config) { c.BlockCacheBytes = n }
+}
+
 // ---- fault tolerance ----
 
 // FaultPlan scripts deterministic fault injection (chaos testing); see

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedImage builds the valid FLASHBLK image the seed corpus variants are
+// derived from: small, directed, weighted, multi-block.
+func fuzzSeedImage() []byte {
+	b := NewBuilder(24).Directed(true).Weighted(true).Name("fuzz")
+	for v := 0; v < 23; v++ {
+		b.AddEdgeW(VID(v), VID(v+1), float32(v))
+		b.AddEdgeW(VID(v), VID((v*5+2)%24), 0.5)
+	}
+	return EncodeBlockFile(b.Build(), 64)
+}
+
+// fuzzOversizeImage packs a hub vertex whose adjacency exceeds the one-byte
+// target block size, exercising the oversize single-vertex block path.
+func fuzzOversizeImage() []byte {
+	b := NewBuilder(64).Directed(true)
+	for v := 1; v < 64; v++ {
+		b.AddEdge(0, VID(v))
+	}
+	return EncodeBlockFile(b.Build(), 1)
+}
+
+// FuzzDecodeBlockFile throws arbitrary bytes at the FLASHBLK reader: opening
+// must never panic or over-allocate, and any image the reader accepts must
+// decode every block without a panic — either a valid CSR fragment or a clean
+// error. The checked-in corpus under testdata/fuzz seeds the interesting
+// regions: a pristine file, a truncated tail, a bit-flipped block CRC, and an
+// oversize single-vertex block.
+func FuzzDecodeBlockFile(f *testing.F) {
+	valid := fuzzSeedImage()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x10
+	f.Add(flipped)
+	f.Add(fuzzOversizeImage())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		bg, err := OpenBlockReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		for _, dir := range []int{BlockOut, BlockIn} {
+			for i := 0; i < bg.NumBlocks(dir); i++ {
+				dec, err := bg.ReadBlock(dir, i)
+				if err != nil {
+					continue // CRC or framing damage, rejected cleanly
+				}
+				for v := dec.First(); dec.Contains(v); v++ {
+					adj, ws := dec.Adj(v)
+					for _, d := range adj {
+						if int(d) >= bg.NumVertices() {
+							t.Fatalf("decoded vid %d out of range", d)
+						}
+					}
+					if bg.Weighted() != (ws != nil) && len(adj) > 0 {
+						t.Fatalf("weight slice presence disagrees with header flag")
+					}
+				}
+			}
+		}
+	})
+}

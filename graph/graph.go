@@ -40,6 +40,22 @@ type Graph struct {
 
 	directed bool
 	name     string
+
+	// oocWeighted marks a skeleton of an out-of-core BlockGraph whose edge
+	// weights live on disk: Weighted() must report true even though the
+	// in-memory weight arrays are nil.
+	oocWeighted bool
+}
+
+// Skeleton reports whether g is the in-memory skeleton of an out-of-core
+// BlockGraph: degrees and offsets are resident but the adjacency is not, and
+// edge access must go through the block backend.
+func (g *Graph) Skeleton() bool { return g.outAdj == nil && g.m > 0 }
+
+// skeletonPanic fails loudly when code reaches for adjacency that only
+// exists on disk.
+func skeletonPanic() {
+	panic("graph: skeleton of an out-of-core block graph has no in-memory adjacency; edge access must go through the block backend")
 }
 
 // NumVertices returns |V|.
@@ -52,8 +68,9 @@ func (g *Graph) NumEdges() int { return g.m }
 // Directed reports whether the graph was built as directed.
 func (g *Graph) Directed() bool { return g.directed }
 
-// Weighted reports whether edge weights are present.
-func (g *Graph) Weighted() bool { return g.outW != nil }
+// Weighted reports whether edge weights are present (on disk, for the
+// skeleton of an out-of-core block graph).
+func (g *Graph) Weighted() bool { return g.outW != nil || g.oocWeighted }
 
 // Name returns the dataset name given at build time (may be empty).
 func (g *Graph) Name() string { return g.name }
@@ -65,12 +82,22 @@ func (g *Graph) OutDegree(u VID) int { return int(g.outOff[u+1] - g.outOff[u]) }
 func (g *Graph) InDegree(v VID) int { return int(g.inOff[v+1] - g.inOff[v]) }
 
 // OutNeighbors returns the out-neighbor slice of u. Callers must not modify
-// the returned slice.
-func (g *Graph) OutNeighbors(u VID) []VID { return g.outAdj[g.outOff[u]:g.outOff[u+1]] }
+// the returned slice. Panics on the skeleton of an out-of-core block graph.
+func (g *Graph) OutNeighbors(u VID) []VID {
+	if g.outAdj == nil && g.m > 0 {
+		skeletonPanic()
+	}
+	return g.outAdj[g.outOff[u]:g.outOff[u+1]]
+}
 
 // InNeighbors returns the in-neighbor slice of v. Callers must not modify
-// the returned slice.
-func (g *Graph) InNeighbors(v VID) []VID { return g.inAdj[g.inOff[v]:g.inOff[v+1]] }
+// the returned slice. Panics on the skeleton of an out-of-core block graph.
+func (g *Graph) InNeighbors(v VID) []VID {
+	if g.inAdj == nil && g.m > 0 {
+		skeletonPanic()
+	}
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
 
 // OutWeights returns weights aligned with OutNeighbors(u), or nil if the
 // graph is unweighted.
@@ -107,8 +134,12 @@ func (g *Graph) HasEdge(u, v VID) bool {
 }
 
 // Edges calls f for every stored directed edge (u, v, w); w is 0 for
-// unweighted graphs. Iteration stops early if f returns false.
+// unweighted graphs. Iteration stops early if f returns false. Panics on the
+// skeleton of an out-of-core block graph.
 func (g *Graph) Edges(f func(u, v VID, w float32) bool) {
+	if g.Skeleton() {
+		skeletonPanic()
+	}
 	for u := 0; u < g.n; u++ {
 		lo, hi := g.outOff[u], g.outOff[u+1]
 		for i := lo; i < hi; i++ {

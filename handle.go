@@ -24,8 +24,22 @@ func NewGraphHandle(g *graph.Graph) *GraphHandle {
 	return &GraphHandle{s: core.NewSharedGraph(g)}
 }
 
-// Graph returns the shared topology.
+// NewBlockGraphHandle wraps an out-of-core FLASHBLK block graph for sharing:
+// Graph() returns the in-memory skeleton, partitions are discovered by
+// streaming the block file, and every engine constructed with WithGraphHandle
+// adopts the block backend automatically — jobs over a catalog-served block
+// graph run out-of-core with no per-job plumbing.
+func NewBlockGraphHandle(bg *graph.BlockGraph) *GraphHandle {
+	return &GraphHandle{s: core.NewSharedBlockGraph(bg)}
+}
+
+// Graph returns the shared topology (the skeleton, for a block-backed
+// handle).
 func (h *GraphHandle) Graph() *graph.Graph { return h.s.Graph() }
+
+// Block returns the out-of-core block graph behind the handle, or nil for an
+// in-memory handle.
+func (h *GraphHandle) Block() *graph.BlockGraph { return h.s.Block() }
 
 // Prewarm builds and caches the partition for the given worker count and the
 // default (range) placement, so the first job at that configuration does not

@@ -61,6 +61,17 @@ type RunResult struct {
 	Resizes       uint64
 	MigratedBytes uint64
 	ResizeTime    time.Duration
+	// Out-of-core block backend counters (zero without a BlockGraph):
+	// cache hits/misses/evictions, encoded bytes read from disk split by the
+	// scheduling mode of the superstep that read them, and how many EdgeMap
+	// supersteps ran in each mode.
+	BlockHits        uint64
+	BlockMisses      uint64
+	BlockEvictions   uint64
+	BlockBytesDense  uint64
+	BlockBytesSparse uint64
+	BlockStepsDense  uint64
+	BlockStepsSparse uint64
 }
 
 // Run executes a FLASH driver program with the engine's fault-tolerance
@@ -96,17 +107,24 @@ func (e *Engine[V]) Run(program func() error) (res RunResult, err error) {
 func (e *Engine[V]) runResult() RunResult {
 	stats := e.tr.Stats()
 	return RunResult{
-		Supersteps:      e.met.Supersteps,
-		Checkpoints:     e.met.Checkpoints,
-		Recoveries:      e.met.Recoveries,
-		Retries:         e.met.Retries,
-		Reconnects:      e.met.Reconnects + stats.Reconnects,
-		Restarts:        e.met.Restarts,
-		CheckpointBytes: e.met.CheckpointBytes,
-		RecoveryTime:    e.met.RecoveryTime,
-		Resizes:         e.met.Resizes,
-		MigratedBytes:   e.met.MigratedBytes,
-		ResizeTime:      e.met.ResizeTime,
+		Supersteps:       e.met.Supersteps,
+		Checkpoints:      e.met.Checkpoints,
+		Recoveries:       e.met.Recoveries,
+		Retries:          e.met.Retries,
+		Reconnects:       e.met.Reconnects + stats.Reconnects,
+		Restarts:         e.met.Restarts,
+		CheckpointBytes:  e.met.CheckpointBytes,
+		RecoveryTime:     e.met.RecoveryTime,
+		Resizes:          e.met.Resizes,
+		MigratedBytes:    e.met.MigratedBytes,
+		ResizeTime:       e.met.ResizeTime,
+		BlockHits:        e.met.BlockHits,
+		BlockMisses:      e.met.BlockMisses,
+		BlockEvictions:   e.met.BlockEvictions,
+		BlockBytesDense:  e.met.BlockBytesDense,
+		BlockBytesSparse: e.met.BlockBytesSparse,
+		BlockStepsDense:  e.met.BlockStepsDense,
+		BlockStepsSparse: e.met.BlockStepsSparse,
 	}
 }
 

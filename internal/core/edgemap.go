@@ -88,6 +88,7 @@ func (e *Engine[V]) isDense(U *Subset, H EdgeSet[V]) bool {
 // H-out-edges; per-target partials are reduced locally, shipped to the
 // target's master, reduced again with the current value, applied, and the
 // final values are synchronized back to mirrors. Two exchange rounds.
+//
 //flash:hotpath
 //flash:deterministic
 func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], R EdgeR[V], opts StepOpts) *Subset {
@@ -101,10 +102,18 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 	if !H.Physical() && !e.cfg.FullMirrors {
 		panic("core: virtual edge sets require Config.FullMirrors (communication beyond neighborhood)")
 	}
+	if e.cfg.BlockGraph != nil {
+		e.met.AddBlockSteps(0, 1)
+	}
 	return e.execStep(U.Size(), func(out *Subset) error {
 		scope := e.scopeFor(H.Physical(), opts.NoSync)
 		return e.parallelWorkers(func(w *worker[V]) error {
 			membership := U.local[w.id]
+			// Out-of-core: plan the sparse superstep's block working set from
+			// the frontier before any edge is touched, and flush the cache
+			// counters into the metric shard however the step ends.
+			w.planSparseBlocks(membership)
+			defer w.flushBlockStats()
 
 			// Phase 1: push along out-edges, accumulating per-target partials
 			// into per-thread shards indexed by slot (every push target of a
@@ -265,6 +274,7 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 // shard 0 needs resetting next superstep. The fold visits threads in
 // ascending order, keeping the reduction order deterministic for a fixed
 // Threads setting.
+//
 //flash:hotpath
 func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 	a0 := &w.acc[0]
@@ -298,6 +308,7 @@ func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 
 // foldPend merges an incoming partial for local master l. It copies the
 // value, so callers may pass pointers into decode scratch or accumulators.
+//
 //flash:hotpath
 func (w *worker[V]) foldPend(l int, val *V, R EdgeR[V]) {
 	if w.pendSet.TestAndSet(l) {
@@ -312,6 +323,7 @@ func (w *worker[V]) foldPend(l int, val *V, R EdgeR[V]) {
 // sequentially applying M for in-neighbors in U until C fails, then
 // synchronizes updated masters. One value-exchange round plus the frontier
 // round.
+//
 //flash:hotpath
 func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V], C EdgeC[V], opts StepOpts) *Subset {
 	e.checkSubset(U)
@@ -321,9 +333,16 @@ func (e *Engine[V]) EdgeMapDense(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V]
 	if !H.Physical() && !e.cfg.FullMirrors {
 		panic("core: virtual edge sets require Config.FullMirrors (communication beyond neighborhood)")
 	}
+	if e.cfg.BlockGraph != nil {
+		e.met.AddBlockSteps(1, 0)
+	}
 	return e.execStep(U.Size(), func(out *Subset) error {
 		scope := e.scopeFor(H.Physical(), opts.NoSync)
 		return e.parallelWorkers(func(w *worker[V]) error {
+			// Out-of-core: the pull phase streams every block the worker's
+			// masters touch; switch the cache to dense (sequential) accounting.
+			w.beginDenseBlocks()
+			defer w.flushBlockStats()
 			if err := w.broadcastFrontier(U); err != nil {
 				return err
 			}
@@ -390,6 +409,7 @@ const (
 // layout makes that broadcast O(|U|) bytes instead. The sparse attempt aborts
 // as soon as it reaches the dense size, so encoding never costs more than
 // O(min(|U|, span)) work.
+//
 //flash:hotpath
 //flash:deterministic
 func encodeFrontier(scratch []byte, words []uint64, lo, hi int) []byte {
@@ -433,6 +453,7 @@ func encodeFrontier(scratch []byte, words []uint64, lo, hi int) []byte {
 // decodeFrontier ORs one frontier frame into the global bitmap words. It
 // validates bounds and varint framing so a corrupt frame fails the superstep
 // instead of corrupting memory.
+//
 //flash:hotpath
 func decodeFrontier(data []byte, words []uint64) error {
 	if len(data) == 0 {
@@ -489,6 +510,7 @@ func decodeFrontier(data []byte, words []uint64) error {
 // round) and materializes them in w.frontier as a global bitmap. Frames carry
 // either the word span of the bitmap or a sparse vid list, whichever is
 // smaller for this worker's members.
+//
 //flash:hotpath
 //flash:deterministic
 func (w *worker[V]) broadcastFrontier(U *Subset) error {

@@ -128,6 +128,16 @@ type Config struct {
 	// catalog graph share a single CSR and partition instead of rebuilding
 	// them per run. The graph passed to NewEngine must be Shared's graph.
 	Shared *SharedGraph
+	// BlockGraph selects the out-of-core block edge backend: the engine's base
+	// edge set iterates FLASHBLK blocks through a bounded per-worker cache
+	// instead of in-memory CSR rows. The graph passed to NewEngine must be
+	// BlockGraph.Skeleton() (degrees and offsets resident, adjacency on disk).
+	// When Shared wraps a block graph, this field is adopted from it.
+	BlockGraph *graph.BlockGraph
+	// BlockCacheBytes bounds the total decoded-block cache budget, split
+	// evenly across workers. 0 with a BlockGraph selects 25% of the graph's
+	// decoded edge bytes (minimum 1 MiB). Ignored without a BlockGraph.
+	BlockCacheBytes int64
 	// RunStats, when non-nil, receives the engine's final summary (RunResult
 	// counters plus the private state footprint) when the engine closes. A
 	// serving layer uses it to account each job's mutable state without
@@ -212,6 +222,12 @@ func (c *Config) fillDefaults() {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 500 * time.Microsecond
 	}
+	if c.BlockGraph != nil && c.BlockCacheBytes == 0 {
+		c.BlockCacheBytes = int64(c.BlockGraph.EdgeBytes() / 4)
+		if c.BlockCacheBytes < 1<<20 {
+			c.BlockCacheBytes = 1 << 20
+		}
+	}
 }
 
 func (c *Config) validate() error {
@@ -236,6 +252,9 @@ func (c *Config) validate() error {
 	}
 	if c.HeartbeatEvery < 0 {
 		return &ConfigError{"HeartbeatEvery", fmt.Sprintf("must be >= 0, got %v", c.HeartbeatEvery)}
+	}
+	if c.BlockCacheBytes < 0 {
+		return &ConfigError{"BlockCacheBytes", fmt.Sprintf("must be >= 0, got %d", c.BlockCacheBytes)}
 	}
 	// A heartbeat interval at or beyond the drain deadline makes every living
 	// peer look heartbeat-silent, so any stall would be misclassified as a
@@ -368,6 +387,15 @@ type worker[V any] struct {
 	// joined at Close. nil until started.
 	pool *threadPool
 
+	// bcache is the worker's bounded cache of decoded FLASHBLK blocks; nil
+	// without an out-of-core backend. Per-worker so the block-read hot path
+	// never contends across workers.
+	bcache *graph.BlockCache
+	// resOut/resIn are the per-block frontier-residency scratch bitmaps a
+	// sparse superstep plans its block reads with (capacity: block count per
+	// direction).
+	resOut, resIn *bitset.Bitset
+
 	met *metrics.Collector
 	ctx Ctx[V]
 }
@@ -380,12 +408,20 @@ type accShard[V any] struct {
 
 // NewEngine partitions g and allocates per-worker state.
 func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
+	if cfg.Shared != nil && cfg.BlockGraph == nil {
+		// A shared block graph carries the backend with it, so every borrowing
+		// engine runs out-of-core without per-job plumbing.
+		cfg.BlockGraph = cfg.Shared.Block()
+	}
 	cfg.fillDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Shared != nil && cfg.Shared.Graph() != g {
 		return nil, &ConfigError{"Shared", "wraps a different graph than the one passed to NewEngine"}
+	}
+	if cfg.BlockGraph != nil && cfg.BlockGraph.Skeleton() != g {
+		return nil, &ConfigError{"BlockGraph", "is not the backend of the graph passed to NewEngine (use BlockGraph.Skeleton())"}
 	}
 	tr := cfg.Transport
 	if tr == nil {
@@ -417,7 +453,13 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 		} else {
 			place = partition.NewRange(g.NumVertices(), cfg.Workers)
 		}
-		part = partition.New(g, place)
+		var topo partition.Adjacency = g
+		if cfg.BlockGraph != nil {
+			// Mirror discovery streams the block file through the sequential
+			// MRU instead of touching the (absent) in-memory adjacency.
+			topo = cfg.BlockGraph
+		}
+		part = partition.New(topo, place)
 	}
 	place := part.Place
 	e := &Engine[V]{
@@ -478,6 +520,15 @@ func (e *Engine[V]) newWorkerAt(wi int, part *partition.Partitioned, place parti
 	// Shard 0 serves the sequential push path and the fold target of
 	// mergeAcc; the per-thread shards 1.. are lazy (ensureAccShards).
 	w.acc[0] = accShard[V]{val: make([]V, st.SlotCount()), set: bitset.New(st.SlotCount())}
+	if bg := cfg.BlockGraph; bg != nil {
+		budget := cfg.BlockCacheBytes / int64(workers)
+		if budget < 1 {
+			budget = 1
+		}
+		w.bcache = graph.NewBlockCache(bg, budget)
+		w.resOut = bitset.New(bg.NumBlocks(graph.BlockOut))
+		w.resIn = bitset.New(bg.NumBlocks(graph.BlockIn))
+	}
 	for to := range w.outKV {
 		w.outKV[to].Init(e.codec)
 	}
@@ -655,6 +706,7 @@ func (p *workerPanic) Error() string {
 // dropped connection heals, reconnects — into the worker's metric shard.
 // Payload bytes are counted on the first successful send, so the collector's
 // Bytes reflects delivered traffic, not retry amplification.
+//
 //flash:hotpath
 func (w *worker[V]) send(to int, data []byte) error {
 	e := w.eng
@@ -783,6 +835,7 @@ func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 // cur, parallel over 64-aligned chunks (distinct local indices map to
 // distinct masters, so the writes never collide). A master's slot is its
 // local index, so no id translation is needed.
+//
 //flash:hotpath
 func (w *worker[V]) publishNext(updated *bitset.Bitset) {
 	words := updated.Words()
@@ -835,6 +888,7 @@ func (w *worker[V]) forEachMember(membership *bitset.Bitset, count int, f func(l
 
 // vtx builds the callback view for v using this worker's current states.
 // v must be resident (a local master or mirror).
+//
 //flash:hotpath
 func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 	return Vtx[V]{
@@ -847,6 +901,7 @@ func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 
 // vtxMaster is vtx for a local master whose local index (== slot) is already
 // known, skipping the gid→slot lookup on master-walk hot paths.
+//
 //flash:hotpath
 func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
 	return Vtx[V]{
@@ -858,6 +913,7 @@ func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
 }
 
 // vtxAt is like vtx but points Val at an explicit working copy.
+//
 //flash:hotpath
 func (w *worker[V]) vtxAt(v graph.VID, val *V) Vtx[V] {
 	return Vtx[V]{
@@ -883,6 +939,7 @@ func (c *Ctx[V]) Get(v graph.VID) *V { return &c.w.cur[c.w.st.Slot(v)] }
 func (c *Ctx[V]) Worker() int { return c.w.id }
 
 // timeBlock measures a closure into the worker's metric shard.
+//
 //flash:hotpath
 func (w *worker[V]) timeBlock(cat metrics.Category, f func()) {
 	start := time.Now()

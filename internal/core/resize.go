@@ -157,7 +157,7 @@ func (e *Engine[V]) doResize(n int) error {
 	e.startHeartbeatersN(maxN)
 
 	newPlace := e.makePlacement(n)
-	newPart := partition.Shell(e.g, newPlace)
+	newPart := partition.Shell(e.topo(), newPlace)
 	for w := 0; w < n; w++ {
 		newPart.Rebuild(w)
 	}

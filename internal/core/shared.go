@@ -39,7 +39,8 @@ type partKey struct {
 // SharedGraph is an immutable graph plus its partition cache, shared by all
 // engines running jobs over the graph. Safe for concurrent use.
 type SharedGraph struct {
-	g *graph.Graph
+	g  *graph.Graph
+	bg *graph.BlockGraph // non-nil when the graph is an out-of-core backend
 
 	mu    sync.Mutex
 	parts map[partKey]*partition.Partitioned
@@ -51,8 +52,20 @@ func NewSharedGraph(g *graph.Graph) *SharedGraph {
 	return &SharedGraph{g: g, parts: make(map[partKey]*partition.Partitioned)}
 }
 
-// Graph returns the shared topology.
+// NewSharedBlockGraph wraps an out-of-core FLASHBLK block graph for sharing:
+// the skeleton is the shared topology, partitions are discovered by streaming
+// the block file, and engines borrowing the share adopt the block backend
+// automatically (NewEngine copies it into Config.BlockGraph).
+func NewSharedBlockGraph(bg *graph.BlockGraph) *SharedGraph {
+	return &SharedGraph{g: bg.Skeleton(), bg: bg, parts: make(map[partKey]*partition.Partitioned)}
+}
+
+// Graph returns the shared topology (the skeleton, for a block-backed share).
 func (s *SharedGraph) Graph() *graph.Graph { return s.g }
+
+// Block returns the shared out-of-core backend, or nil for an in-memory
+// share.
+func (s *SharedGraph) Block() *graph.BlockGraph { return s.bg }
 
 // Partition returns the cached partition for the given membership, building
 // it on first use. Concurrent callers asking for the same key block on the
@@ -71,7 +84,11 @@ func (s *SharedGraph) Partition(workers int, hashPlacement bool) *partition.Part
 	} else {
 		place = partition.NewRange(s.g.NumVertices(), workers)
 	}
-	p := partition.New(s.g, place)
+	var topo partition.Adjacency = s.g
+	if s.bg != nil {
+		topo = s.bg
+	}
+	p := partition.New(topo, place)
 	s.parts[key] = p
 	return p
 }

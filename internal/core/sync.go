@@ -39,6 +39,7 @@ func (e *Engine[V]) scopeFor(physical bool, noSync bool) syncScope {
 // when BatchBytes is exceeded so transfer overlaps remaining work. Callers
 // must append in ascending gid order per destination — the frame's vid
 // deltas then stay small and the message bytes are deterministic.
+//
 //flash:hotpath
 //flash:deterministic
 func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
@@ -51,6 +52,7 @@ func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
 }
 
 // flushAll sends every non-empty pending KV frame.
+//
 //flash:hotpath
 //flash:deterministic
 func (w *worker[V]) flushAll() error {
@@ -70,6 +72,7 @@ func (w *worker[V]) flushAll() error {
 // is a superstep failure, not a panic: the remaining frames are still
 // drained to keep the round consistent, and the first decode error is
 // returned alongside transport failures (stall, abort).
+//
 //flash:hotpath
 func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 	var decode time.Duration
@@ -103,6 +106,7 @@ func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 // in fixed (destination, thread) order after the scan, so the per-receiver
 // byte stream stays deterministic; BatchBytes overlap applies only to the
 // sequential path.
+//
 //flash:hotpath
 //flash:deterministic
 func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
@@ -162,6 +166,7 @@ const debugSampleCap = 64
 // encodeSyncSeq is the single-threaded encode: one ascending pass over the
 // updated masters, streaming into the per-destination frames (with eager
 // BatchBytes flushing).
+//
 //flash:hotpath
 //flash:deterministic
 func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error {
@@ -200,6 +205,7 @@ func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error
 // per-destination frames, then the frames ship in (destination, thread)
 // order. Encoding into private frames cannot fail; send errors surface from
 // the sequential ship loop.
+//
 //flash:hotpath
 //flash:deterministic
 func (w *worker[V]) encodeSyncParallel(updated *bitset.Bitset, scope syncScope) error {

@@ -19,6 +19,7 @@ type StepOpts struct {
 //
 // Each VertexMap is one superstep: local computation followed by mirror
 // synchronization of updated masters (unless opts.NoSync).
+//
 //flash:hotpath
 func (e *Engine[V]) VertexMap(U *Subset, F func(Vtx[V]) bool, M func(Vtx[V]) V, opts StepOpts) *Subset {
 	e.checkSubset(U)
@@ -56,6 +57,7 @@ func (e *Engine[V]) VertexMap(U *Subset, F func(Vtx[V]) bool, M func(Vtx[V]) V, 
 // FullMirrors). Updates are buffered in next states and published after the
 // local scan, so concurrent reads always observe the superstep's initial
 // values.
+//
 //flash:hotpath
 func (e *Engine[V]) VertexMapC(U *Subset, F func(c *Ctx[V], v Vtx[V]) bool, M func(c *Ctx[V], v Vtx[V]) V, opts StepOpts) *Subset {
 	e.checkSubset(U)

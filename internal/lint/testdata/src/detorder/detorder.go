@@ -41,3 +41,24 @@ func encodeSorted(keys []VID, dst []byte) []byte {
 	}
 	return dst
 }
+
+// Block-path pattern, modeled on the FLASHBLK writer: blocks must land in
+// the file in ascending first-vertex order, so packing from a residency map
+// would make the encoded image depend on map hash order and break the
+// byte-identical re-encode guarantee.
+
+//flash:deterministic
+func packResidentBlocks(resident map[VID][]byte, dst []byte) []byte {
+	for _, enc := range resident { // want `map iteration in packResidentBlocks`
+		dst = append(dst, enc...)
+	}
+	return dst
+}
+
+//flash:deterministic
+func packBlocksInOrder(blocks [][]byte, dst []byte) []byte {
+	for _, enc := range blocks { // no diagnostic: slice order is the file order
+		dst = append(dst, enc...)
+	}
+	return dst
+}

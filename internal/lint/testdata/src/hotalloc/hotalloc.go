@@ -6,11 +6,11 @@ import "fmt"
 
 type VID uint32
 
-func sink(v any)         {}
-func use(b []byte)       {}
-func grab() []byte       { return nil }
-func consume(f func())   {}
-func add(dst []int) int  { return len(dst) }
+func sink(v any)        {}
+func use(b []byte)      {}
+func grab() []byte      { return nil }
+func consume(f func())  {}
+func add(dst []int) int { return len(dst) }
 
 //flash:hotpath
 func hotBad(vids []VID, out []int) {
@@ -22,7 +22,7 @@ func hotBad(vids []VID, out []int) {
 	_ = buf
 	var acc []int
 	for i, v := range vids {
-		acc = append(acc, int(v)) // want `append to possibly-unsized acc`
+		acc = append(acc, int(v))    // want `append to possibly-unsized acc`
 		f := func() int { return i } // want `variable-capturing closure inside a loop`
 		out[f()%len(out)] = 0
 	}
@@ -33,7 +33,7 @@ func hotBad(vids []VID, out []int) {
 func hotGood(dst []byte, vids []VID) []byte {
 	buf := make([]int, 0, len(vids)) // sized: explicit capacity
 	for _, v := range vids {
-		buf = append(buf, int(v)) // no diagnostic: destination is capacity-carrying
+		buf = append(buf, int(v))  // no diagnostic: destination is capacity-carrying
 		dst = append(dst, byte(v)) // no diagnostic: parameter, caller owns capacity
 	}
 	scratch := grab()
@@ -91,4 +91,30 @@ func coldPath(vids []VID) string {
 		m[v] = i
 	}
 	return fmt.Sprint(len(m))
+}
+
+// Block-path pattern, modeled on the FLASHBLK block cache's Get/decode path:
+// the per-read buffer must be sized from the block-table entry, and the
+// decoded adjacency must grow into a capacity-carrying destination — an
+// unsized scratch grown per edge re-allocates on the per-block hot path.
+type blockMeta struct{ encLen uint32 }
+
+//flash:hotpath
+func hotBlockDecodeBad(metas []blockMeta, idx int, edges []VID) []VID {
+	var adj []VID
+	for _, v := range edges {
+		adj = append(adj, v) // want `append to possibly-unsized adj`
+	}
+	return adj
+}
+
+//flash:hotpath
+func hotBlockDecodeGood(metas []blockMeta, idx int, edges []VID) []VID {
+	buf := make([]byte, metas[idx].encLen) // sized by the block-table entry
+	use(buf)
+	adj := make([]VID, 0, len(edges)) // sized by the block's edge count
+	for _, v := range edges {
+		adj = append(adj, v) // no diagnostic: destination carries capacity
+	}
+	return adj
 }

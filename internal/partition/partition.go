@@ -11,6 +11,18 @@ import (
 	"flash/internal/bitset"
 )
 
+// Adjacency is the neighbor access mirror discovery needs: both in-memory
+// CSR graphs (*graph.Graph) and out-of-core block graphs (*graph.BlockGraph)
+// satisfy it, so partitions can be built by streaming a block file without
+// ever materializing the full adjacency. Implementations may return slices
+// that are only valid until the next call (the block graph's sequential MRU
+// does); the partitioner never retains them.
+type Adjacency interface {
+	NumVertices() int
+	OutNeighbors(u graph.VID) []graph.VID
+	InNeighbors(v graph.VID) []graph.VID
+}
+
 // Placement maps vertices to owning workers. Implementations must be
 // bijective between global ids and (worker, local index) pairs.
 type Placement interface {
@@ -124,9 +136,9 @@ type Part struct {
 	Slots *SlotTable
 }
 
-// Partitioned bundles the graph, placement, and per-worker parts.
+// Partitioned bundles the adjacency source, placement, and per-worker parts.
 type Partitioned struct {
-	G      *graph.Graph
+	G      Adjacency
 	Place  Placement
 	Parts  []*Part
 	nTotal int
@@ -136,7 +148,7 @@ type Partitioned struct {
 // mirrors from both adjacency directions, matching the paper's data layout:
 // masters plus "replicas ... used for update propagation and data
 // synchronization".
-func New(g *graph.Graph, place Placement) *Partitioned {
+func New(g Adjacency, place Placement) *Partitioned {
 	m := place.Workers()
 	n := g.NumVertices()
 	p := &Partitioned{G: g, Place: place, nTotal: n}
@@ -186,7 +198,7 @@ func New(g *graph.Graph, place Placement) *Partitioned {
 // the membership-resize entry point: the engine fills each slot with
 // Rebuild(w), reusing the cold-restart path to construct every worker's view
 // of the new partitioning one at a time instead of New's whole-graph passes.
-func Shell(g *graph.Graph, place Placement) *Partitioned {
+func Shell(g Adjacency, place Placement) *Partitioned {
 	return &Partitioned{
 		G:      g,
 		Place:  place,

@@ -38,6 +38,9 @@ type GraphInfo struct {
 	GraphBytes  uint64 `json:"graph_bytes"`
 	SharedBytes uint64 `json:"shared_bytes"`
 	Partitions  int    `json:"partitions"`
+	// Ooc marks a graph served out-of-core from a FLASHBLK file: GraphBytes
+	// then covers only the resident skeleton, not the on-disk adjacency.
+	Ooc bool `json:"ooc,omitempty"`
 }
 
 // Catalog is the server's set of loaded graphs: name → shared immutable
@@ -55,10 +58,28 @@ func NewCatalog() *Catalog {
 	return &Catalog{graphs: make(map[string]*flash.GraphHandle)}
 }
 
-// Load builds the graph described by spec and adds it under spec.Name.
+// Load builds the graph described by spec and adds it under spec.Name. A
+// Path pointing at a FLASHBLK file is served out-of-core: the catalog keeps
+// only the topology skeleton and block index resident, and every job over the
+// graph adopts the block backend through the shared handle.
 func (c *Catalog) Load(spec GraphSpec) (*flash.GraphHandle, error) {
 	if spec.Name == "" {
 		return nil, &RequestError{Field: "name", Reason: "missing"}
+	}
+	if spec.Path != "" && graph.IsBlockFile(spec.Path) {
+		bg, err := graph.OpenBlockFile(spec.Path)
+		if err != nil {
+			return nil, &RequestError{Field: "path", Reason: err.Error()}
+		}
+		if spec.Weighted && !bg.Weighted() {
+			bg.Close()
+			return nil, &RequestError{Field: "weighted", Reason: "block file stores no weights (re-encode it from a weighted graph)"}
+		}
+		h, err := c.add(spec.Name, flash.NewBlockGraphHandle(bg))
+		if err != nil {
+			bg.Close()
+		}
+		return h, err
 	}
 	g, err := BuildGraph(spec)
 	if err != nil {
@@ -70,7 +91,10 @@ func (c *Catalog) Load(spec GraphSpec) (*flash.GraphHandle, error) {
 // Add registers an already-built graph under name (embedding callers and
 // tests use it directly; Load goes through it too).
 func (c *Catalog) Add(name string, g *graph.Graph) (*flash.GraphHandle, error) {
-	h := flash.NewGraphHandle(g)
+	return c.add(name, flash.NewGraphHandle(g))
+}
+
+func (c *Catalog) add(name string, h *flash.GraphHandle) (*flash.GraphHandle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.graphs[name]; ok {
@@ -126,6 +150,7 @@ func (c *Catalog) List() []GraphInfo {
 			GraphBytes:  h.GraphBytes(),
 			SharedBytes: h.SharedBytes(),
 			Partitions:  h.Partitions(),
+			Ooc:         h.Block() != nil,
 		}
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })

@@ -2,8 +2,12 @@ package serve
 
 import (
 	"errors"
+	"path/filepath"
 	"sync"
 	"testing"
+
+	"flash/algo"
+	"flash/graph"
 )
 
 // TestCatalogAccounting pins the memory model of the engine split at the
@@ -171,5 +175,68 @@ func TestBuildGraphRejections(t *testing.T) {
 	var re *RequestError
 	if !errors.As(err, &re) || re.Field != "name" {
 		t.Fatalf("nameless load: %v", err)
+	}
+}
+
+// TestCatalogBlockFile loads a FLASHBLK file through the catalog's path
+// sniffing and checks that (a) the listing marks the graph out-of-core with
+// only the skeleton resident, (b) a served job over it returns the same
+// values as the in-memory graph, and (c) weight demands the file cannot meet
+// are rejected at load time.
+func TestCatalogBlockFile(t *testing.T) {
+	g := graph.GenRMAT(512, 512*8, 31)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rmat.blk")
+	if err := graph.WriteBlockFile(g, path, 8<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(ServerConfig{
+		Scheduler: SchedulerConfig{MaxConcurrent: 2, Workers: 2},
+		Preload:   []GraphSpec{{Name: "blk", Path: path}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	infos := srv.Catalog().List()
+	if len(infos) != 1 || !infos[0].Ooc {
+		t.Fatalf("listing does not mark the block graph ooc: %+v", infos)
+	}
+	if infos[0].Edges != g.NumEdges() || infos[0].Vertices != g.NumVertices() {
+		t.Fatalf("listing shape wrong: %+v", infos[0])
+	}
+	// Skeleton-only residency: far below the full CSR footprint.
+	if infos[0].GraphBytes >= g.MemBytes() {
+		t.Fatalf("ooc graph bytes %d not below CSR bytes %d", infos[0].GraphBytes, g.MemBytes())
+	}
+
+	job, err := srv.SubmitRequest(&JobRequest{Graph: "blk", Algo: "cc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	res, err := job.Result()
+	if err != nil {
+		t.Fatalf("block job failed: %v", err)
+	}
+	want, err := algo.CC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.Values.([]uint32)
+	if !ok {
+		t.Fatalf("cc values have type %T", res.Values)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cc[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// An unweighted block file cannot serve a weighted spec.
+	if _, err := srv.Catalog().Load(GraphSpec{Name: "wblk", Path: path, Weighted: true}); err == nil {
+		t.Fatalf("weighted spec over unweighted block file accepted")
 	}
 }

@@ -74,6 +74,18 @@ type Collector struct {
 	Resizes       uint64
 	MigratedBytes uint64
 	ResizeTime    time.Duration
+	// Out-of-core block backend counters: block-cache hits, misses, and
+	// evictions; encoded bytes read from disk split by the scheduling mode
+	// (dense = sequential stream, sparse = frontier-resident blocks only);
+	// and how many EdgeMap supersteps ran in each mode. All zero for
+	// in-memory runs.
+	BlockHits        uint64
+	BlockMisses      uint64
+	BlockEvictions   uint64
+	BlockBytesDense  uint64
+	BlockBytesSparse uint64
+	BlockStepsDense  uint64
+	BlockStepsSparse uint64
 }
 
 // New returns an empty collector.
@@ -171,6 +183,27 @@ func (col *Collector) AddResizeTime(d time.Duration) {
 	col.mu.Unlock()
 }
 
+// AddBlockCache records out-of-core block cache activity: hits, misses,
+// evictions, and encoded bytes read from disk by scheduling mode.
+func (col *Collector) AddBlockCache(hits, misses, evictions, bytesDense, bytesSparse uint64) {
+	col.mu.Lock()
+	col.BlockHits += hits
+	col.BlockMisses += misses
+	col.BlockEvictions += evictions
+	col.BlockBytesDense += bytesDense
+	col.BlockBytesSparse += bytesSparse
+	col.mu.Unlock()
+}
+
+// AddBlockSteps records EdgeMap supersteps executed against the block
+// backend, by scheduling mode.
+func (col *Collector) AddBlockSteps(dense, sparse uint64) {
+	col.mu.Lock()
+	col.BlockStepsDense += dense
+	col.BlockStepsSparse += sparse
+	col.mu.Unlock()
+}
+
 // Step records one superstep with the given entering frontier size.
 func (col *Collector) Step(frontier int) {
 	col.mu.Lock()
@@ -227,6 +260,9 @@ func (col *Collector) Merge(other *Collector) {
 	recoveries, checkpoints := other.Recoveries, other.Checkpoints
 	restarts, ckptBytes, recTime := other.Restarts, other.CheckpointBytes, other.RecoveryTime
 	resizes, migBytes, rszTime := other.Resizes, other.MigratedBytes, other.ResizeTime
+	bHits, bMiss, bEvict := other.BlockHits, other.BlockMisses, other.BlockEvictions
+	bDense, bSparse := other.BlockBytesDense, other.BlockBytesSparse
+	bStepsD, bStepsS := other.BlockStepsDense, other.BlockStepsSparse
 	other.mu.Unlock()
 
 	col.mu.Lock()
@@ -247,6 +283,13 @@ func (col *Collector) Merge(other *Collector) {
 	col.Resizes += resizes
 	col.MigratedBytes += migBytes
 	col.ResizeTime += rszTime
+	col.BlockHits += bHits
+	col.BlockMisses += bMiss
+	col.BlockEvictions += bEvict
+	col.BlockBytesDense += bDense
+	col.BlockBytesSparse += bSparse
+	col.BlockStepsDense += bStepsD
+	col.BlockStepsSparse += bStepsS
 	col.mu.Unlock()
 }
 
@@ -268,6 +311,13 @@ func (col *Collector) Reset() {
 	col.Resizes = 0
 	col.MigratedBytes = 0
 	col.ResizeTime = 0
+	col.BlockHits = 0
+	col.BlockMisses = 0
+	col.BlockEvictions = 0
+	col.BlockBytesDense = 0
+	col.BlockBytesSparse = 0
+	col.BlockStepsDense = 0
+	col.BlockStepsSparse = 0
 	col.mu.Unlock()
 }
 
@@ -291,6 +341,10 @@ func (col *Collector) String() string {
 	if col.Resizes > 0 {
 		fmt.Fprintf(&sb, " resizes=%d migrated_bytes=%d resize_time=%s",
 			col.Resizes, col.MigratedBytes, col.ResizeTime.Round(time.Microsecond))
+	}
+	if col.BlockHits+col.BlockMisses > 0 {
+		fmt.Fprintf(&sb, " blk_hits=%d blk_misses=%d blk_evicts=%d blk_bytes_dense=%d blk_bytes_sparse=%d",
+			col.BlockHits, col.BlockMisses, col.BlockEvictions, col.BlockBytesDense, col.BlockBytesSparse)
 	}
 	return sb.String()
 }
