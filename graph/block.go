@@ -298,6 +298,8 @@ func (bg *BlockGraph) decodeBlock(d int, mt blockMeta, data []byte) (*DecodedBlo
 // decodes each block exactly once. I/O or corruption errors panic — these
 // accessors mirror Graph's infallible signatures and a block file that fails
 // mid-scan is unusable anyway.
+//
+//flash:blockowner the MRU slot is the sanctioned one-block residency
 func (bg *BlockGraph) seqAdj(dir int, v VID) []VID {
 	d := bg.mapDir(dir)
 	bg.mu.Lock()

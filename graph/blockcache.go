@@ -178,6 +178,8 @@ func (c *BlockCache) accountMiss(dir, d, idx int) {
 // whole budget evicts everything else and is cached alone — refusing to cache
 // it would turn a sequential scan over such blocks into one disk read and
 // full decode per *vertex* instead of per block.
+//
+//flash:blockowner the cache is the budget-bounded residency authority
 func (c *BlockCache) insert(d, idx int, dec *DecodedBlock) {
 	sz := dec.Bytes()
 	for c.used+sz > c.budget && len(c.ring) > 0 {

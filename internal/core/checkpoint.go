@@ -150,6 +150,8 @@ func (e *Engine[V]) Err() error { return e.failed }
 // first — replays the logged supersteps and re-executes exec, up to the
 // recovery budget; an unrecovered error marks the engine failed and unwinds
 // to Run.
+//
+//flash:amortized once per superstep, not per element
 func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
 	if e.failed != nil {
 		panic(runtimeFailure{fmt.Errorf("core: engine already failed: %w", e.failed)})

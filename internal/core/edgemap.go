@@ -276,6 +276,7 @@ func (e *Engine[V]) EdgeMapSparse(U *Subset, H EdgeSet[V], F EdgeF[V], M EdgeM[V
 // Threads setting.
 //
 //flash:hotpath
+//flash:phase(compute)
 func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 	a0 := &w.acc[0]
 	w.parfor(a0.set.Cap(), func(lo, hi int) {
@@ -310,6 +311,7 @@ func (w *worker[V]) mergeAcc(R EdgeR[V]) {
 // value, so callers may pass pointers into decode scratch or accumulators.
 //
 //flash:hotpath
+//flash:phase(compute)
 func (w *worker[V]) foldPend(l int, val *V, R EdgeR[V]) {
 	if w.pendSet.TestAndSet(l) {
 		w.pendVal[l] = R(*val, w.pendVal[l])
@@ -513,6 +515,7 @@ func decodeFrontier(data []byte, words []uint64) error {
 //
 //flash:hotpath
 //flash:deterministic
+//flash:phase(ship)
 func (w *worker[V]) broadcastFrontier(U *Subset) error {
 	e := w.eng
 	sstart := time.Now()

@@ -640,6 +640,8 @@ func (e *Engine[V]) Close() error {
 // error is the root cause (a non-abort error is preferred over the
 // secondary comm.ErrAborted ones it triggered). Panics inside a worker are
 // converted to non-recoverable errors so the abort broadcast still runs.
+//
+//flash:amortized one goroutine spawn per worker per superstep
 func (e *Engine[V]) parallelWorkers(f func(w *worker[V]) error) error {
 	errs := make([]error, len(e.workers))
 	var wg sync.WaitGroup
@@ -708,6 +710,7 @@ func (p *workerPanic) Error() string {
 // Bytes reflects delivered traffic, not retry amplification.
 //
 //flash:hotpath
+//flash:phase(ship,sync)
 func (w *worker[V]) send(to int, data []byte) error {
 	e := w.eng
 	backoff := e.cfg.RetryBackoff
@@ -795,6 +798,8 @@ func (p *threadPool) stop() { close(p.jobs) }
 // parfor splits [0, total) into 64-aligned chunks over the worker's threads
 // and runs them concurrently. Alignment guarantees concurrent bitset writes
 // on disjoint chunks never touch the same word.
+//
+//flash:amortized one job descriptor per parallel region
 func (w *worker[V]) parfor(total int, f func(lo, hi int)) {
 	w.parforT(total, func(_, lo, hi int) { f(lo, hi) })
 }
@@ -804,6 +809,8 @@ func (w *worker[V]) parfor(total int, f func(lo, hi int)) {
 // size ceil(total/Threads) rounded up to 64 guarantees t < Config.Threads.
 // Multi-chunk invocations run on the worker's persistent thread pool; the
 // calling goroutine participates, so the pool only needs Threads-1 helpers.
+//
+//flash:amortized one job descriptor per parallel region
 func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 	threads := w.eng.cfg.Threads
 	if threads == 1 || total < 128 {
@@ -837,6 +844,7 @@ func (w *worker[V]) parforT(total int, f func(t, lo, hi int)) {
 // local index, so no id translation is needed.
 //
 //flash:hotpath
+//flash:phase(sync)
 func (w *worker[V]) publishNext(updated *bitset.Bitset) {
 	words := updated.Words()
 	w.parfor(updated.Cap(), func(lo, hi int) {
@@ -855,6 +863,8 @@ func (w *worker[V]) publishNext(updated *bitset.Bitset) {
 // ensureAccShards materializes the per-thread phase-1 accumulator shards
 // 1..Threads-1 on first use, so algorithms that never run a parallel sparse
 // push never allocate them.
+//
+//flash:amortized allocates once, on the first parallel sparse push
 func (w *worker[V]) ensureAccShards() {
 	for t := 1; t < len(w.acc); t++ {
 		if w.acc[t].val == nil {
@@ -869,6 +879,8 @@ func (w *worker[V]) ensureAccShards() {
 // forEachMember visits the local indices in membership, choosing between a
 // thread-parallel full scan (dense frontiers) and a sequential bit-walk
 // (sparse frontiers, avoiding the O(localCount) scan).
+//
+//flash:amortized one parallel region per frontier sweep
 func (w *worker[V]) forEachMember(membership *bitset.Bitset, count int, f func(l int)) {
 	if count*16 < membership.Cap() || w.eng.cfg.Threads == 1 {
 		membership.Range(func(l int) bool {
@@ -890,6 +902,7 @@ func (w *worker[V]) forEachMember(membership *bitset.Bitset, count int, f func(l
 // v must be resident (a local master or mirror).
 //
 //flash:hotpath
+//flash:phase(compute)
 func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,
@@ -903,6 +916,7 @@ func (w *worker[V]) vtx(v graph.VID) Vtx[V] {
 // known, skipping the gid→slot lookup on master-walk hot paths.
 //
 //flash:hotpath
+//flash:phase(compute)
 func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,
@@ -915,6 +929,7 @@ func (w *worker[V]) vtxMaster(v graph.VID, l int) Vtx[V] {
 // vtxAt is like vtx but points Val at an explicit working copy.
 //
 //flash:hotpath
+//flash:phase(compute)
 func (w *worker[V]) vtxAt(v graph.VID, val *V) Vtx[V] {
 	return Vtx[V]{
 		ID:    v,

@@ -106,6 +106,8 @@ func (s *SharedGraph) Partitions() int {
 // entries stay shared — but replacing the rebuilt entry no longer reaches
 // other engines borrowing the same partition. No-op for engines that built
 // their partition privately.
+//
+//flash:privatizes
 func (e *Engine[V]) privatizePart() {
 	if e.partShared {
 		e.part = e.part.Fork()

@@ -37,6 +37,10 @@ func (e *Engine[V]) newSubset() *Subset {
 	return s
 }
 
+// checkSubset asserts s belongs to this engine and remaps it if worker
+// membership changed since it was built.
+//
+//flash:amortized remap allocates only on the rare epoch change
 func (e *Engine[V]) checkSubset(s *Subset) {
 	if s.owner != anyEngine(e) {
 		panic("core: vertexSubset used with a different engine")

@@ -42,6 +42,7 @@ func (e *Engine[V]) scopeFor(physical bool, noSync bool) syncScope {
 //
 //flash:hotpath
 //flash:deterministic
+//flash:phase(ship,sync)
 func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
 	kw := &w.outKV[to]
 	kw.Append(uint32(gid), val)
@@ -55,6 +56,7 @@ func (w *worker[V]) appendKV(to int, gid graph.VID, val *V) error {
 //
 //flash:hotpath
 //flash:deterministic
+//flash:phase(ship,sync)
 func (w *worker[V]) flushAll() error {
 	for to := range w.outKV {
 		if w.outKV[to].Len() > 0 {
@@ -74,6 +76,7 @@ func (w *worker[V]) flushAll() error {
 // returned alongside transport failures (stall, abort).
 //
 //flash:hotpath
+//flash:phase(ship,sync)
 func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 	var decode time.Duration
 	var decodeErr error
@@ -109,6 +112,7 @@ func (w *worker[V]) drainKV(apply func(gid graph.VID, val *V)) error {
 //
 //flash:hotpath
 //flash:deterministic
+//flash:phase(sync)
 func (w *worker[V]) syncMasters(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	if scope != scopeNone {
@@ -169,6 +173,7 @@ const debugSampleCap = 64
 //
 //flash:hotpath
 //flash:deterministic
+//flash:phase(sync)
 func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	sstart := time.Now()
@@ -208,6 +213,7 @@ func (w *worker[V]) encodeSyncSeq(updated *bitset.Bitset, scope syncScope) error
 //
 //flash:hotpath
 //flash:deterministic
+//flash:phase(sync)
 func (w *worker[V]) encodeSyncParallel(updated *bitset.Bitset, scope syncScope) error {
 	e := w.eng
 	sstart := time.Now()

@@ -17,23 +17,36 @@ func TestPoolEscape(t *testing.T) { linttest.Run(t, fixture("poolescape"), lint.
 func TestCommErr(t *testing.T)    { linttest.Run(t, fixture("commerr"), lint.CommErr) }
 func TestDetOrder(t *testing.T)   { linttest.Run(t, fixture("detorder"), lint.DetOrder) }
 func TestSlotIndex(t *testing.T)  { linttest.Run(t, fixture("slotindex"), lint.SlotIndex) }
+func TestSharedMut(t *testing.T)  { linttest.Run(t, fixture("sharedmut"), lint.SharedMut) }
+func TestBlockRes(t *testing.T)   { linttest.Run(t, fixture("blockres"), lint.BlockRes) }
+func TestPhaseOrder(t *testing.T) { linttest.Run(t, fixture("phaseorder"), lint.PhaseOrder) }
 
-// TestSelfCheck runs every analyzer over the whole module: the shipped
-// runtime must be flashvet-clean. This is the same invocation CI's lint job
-// performs via cmd/flashvet.
+// TestSelfCheck runs every analyzer over the whole module — _test.go files
+// included, under the flashdebug build tag so the debug-only code is checked
+// too — and audits every suppression marker for a written reason. The
+// shipped runtime must be flashvet-clean; this is the same invocation CI's
+// lint job performs via cmd/flashvet.
 func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("self-check shells out to go list; skipped in -short")
 	}
-	pkgs, err := lint.Load("../..", "./...")
-	if err != nil {
-		t.Fatalf("loading module: %v", err)
-	}
-	diags, err := lint.RunAnalyzers(pkgs, lint.All())
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
-	}
-	for _, d := range diags {
-		t.Errorf("%s", d)
+	for _, cfg := range []lint.LoadConfig{
+		{Tests: true},
+		{Tests: true, Tags: "flashdebug"},
+	} {
+		pkgs, err := lint.LoadWith(cfg, "../..", "./...")
+		if err != nil {
+			t.Fatalf("loading module (tags %q): %v", cfg.Tags, err)
+		}
+		diags, err := lint.RunAnalyzers(pkgs, lint.All())
+		if err != nil {
+			t.Fatalf("running analyzers (tags %q): %v", cfg.Tags, err)
+		}
+		for _, d := range diags {
+			t.Errorf("[tags %q] %s", cfg.Tags, d)
+		}
+		for _, d := range lint.AuditSuppressions(pkgs) {
+			t.Errorf("[tags %q] %s", cfg.Tags, d)
+		}
 	}
 }

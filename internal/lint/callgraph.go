@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the interprocedural layer under flashvet: a module-wide static
+// call graph over every loaded package, condensed into strongly connected
+// components and traversed bottom-up to compute one dataflow Summary per
+// function (see summary.go). Analyzers consult it through Pass.Mod.
+//
+// Identity across packages is the crux: when package A is type-checked from
+// source, a reference to B.F resolves to a types.Object materialized from B's
+// compiler export data — a different pointer than the object B's own
+// source-checked pass defines. FuncKey canonicalizes both to the same string
+// ("pkgpath.Recv.Name"), which is what Module.Funcs is keyed by.
+
+// A Func is one declared function or method in the analyzed module.
+type Func struct {
+	Key  string
+	Obj  types.Object
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Calls holds one edge per (callee, position): every module function this
+	// one references — direct calls, method calls, and function values handed
+	// to higher-order code. References over-approximate calls, which is the
+	// safe direction for reachability contracts (detorder, phaseorder).
+	Calls []CallEdge
+
+	// Sum is the bottom-up dataflow summary (see summary.go).
+	Sum Summary
+
+	// Phases holds the //flash:phase(...) legality set, nil when unannotated;
+	// phaseMask is its bitmask form (see phaseorder.go).
+	Phases    []string
+	phaseMask uint8
+
+	// tarjan scratch
+	index, lowlink int
+	onStack        bool
+}
+
+// Name returns a compact human-readable name ("(*Partitioned).Rebuild").
+func (f *Func) Name() string {
+	if f.Decl.Recv != nil && len(f.Decl.Recv.List) > 0 {
+		return "(" + types.ExprString(f.Decl.Recv.List[0].Type) + ")." + f.Decl.Name.Name
+	}
+	return f.Decl.Name.Name
+}
+
+// A CallEdge is one static reference from a function to a module function.
+type CallEdge struct {
+	To  *Func
+	Pos token.Pos
+}
+
+// Module is the interprocedural view over one RunAnalyzers invocation: every
+// loaded package, the module-wide call graph, and per-function summaries.
+type Module struct {
+	Pkgs  []*Package
+	Funcs map[string]*Func
+
+	// immutableTypes holds "pkgpath.TypeName" for every type declaration
+	// marked //flash:immutable (consumed by sharedmut).
+	immutableTypes map[string]bool
+
+	// memoized analyses shared by the per-package passes
+	detReach   map[*Func]bool // reachable from a //flash:deterministic root
+	phaseDiags []rawPhaseDiag
+	phaseOnce  bool
+}
+
+// FuncKey canonicalizes a function object to its cross-package identity, or
+// "" when obj is not a declared function (builtins, interface methods resolve
+// to a key too, but never match a declaration). Generic instantiations fold
+// onto their origin declaration.
+func FuncKey(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	fn = fn.Origin()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		name := "?"
+		switch t := rt.(type) {
+		case *types.Named:
+			name = t.Obj().Name()
+		case *types.Interface:
+			return "" // interface method: no body to analyze
+		}
+		return pkg.Path() + "." + name + "." + fn.Name()
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// BuildModule constructs the call graph and computes every summary bottom-up
+// over the SCC condensation.
+func BuildModule(pkgs []*Package) *Module {
+	mod := &Module{Pkgs: pkgs, Funcs: map[string]*Func{}, immutableTypes: map[string]bool{}}
+	// Pass 1: register declarations and immutable-marked types.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					obj := pkg.Info.Defs[d.Name]
+					key := FuncKey(obj)
+					if key == "" {
+						continue
+					}
+					f := &Func{Key: key, Obj: obj, Decl: d, Pkg: pkg}
+					if args, ok := MarkerArgs(d.Doc, "phase"); ok {
+						f.Phases = args
+					}
+					mod.Funcs[key] = f
+				case *ast.GenDecl:
+					mod.registerImmutable(pkg, d)
+				}
+			}
+		}
+	}
+	// Pass 2: reference edges.
+	for _, f := range mod.Funcs {
+		f.Calls = mod.collectEdges(f)
+	}
+	// Pass 3: bottom-up summaries over the SCC condensation. Tarjan emits
+	// each component only after every component it can reach, so callee
+	// summaries are final (up to in-SCC fixpoint) when a caller is analyzed.
+	for _, scc := range mod.sccs() {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				old := f.Sum
+				f.Sum = computeSummary(mod, f)
+				if !old.equal(&f.Sum) {
+					changed = true
+				}
+			}
+		}
+	}
+	return mod
+}
+
+// registerImmutable records type specs whose doc or line comment carries
+// //flash:immutable.
+func (m *Module) registerImmutable(pkg *Package, d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		if commentGroupHasMarker(d.Doc, "immutable") ||
+			commentGroupHasMarker(ts.Doc, "immutable") ||
+			commentGroupHasMarker(ts.Comment, "immutable") {
+			m.immutableTypes[pkg.Types.Path()+"."+ts.Name.Name] = true
+		}
+	}
+}
+
+// IsImmutableType reports whether t (after pointer stripping) is a named type
+// marked //flash:immutable anywhere in the module.
+func (m *Module) IsImmutableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return m.immutableTypes[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// FuncOf resolves a referenced object to its module declaration, folding
+// generic instantiations and export-data objects onto the source Func.
+func (m *Module) FuncOf(obj types.Object) *Func {
+	if obj == nil {
+		return nil
+	}
+	return m.Funcs[FuncKey(obj)]
+}
+
+// CalleeOf resolves the module function a call expression invokes (direct
+// calls and method calls; nil for interface calls, func values, builtins, and
+// out-of-module callees).
+func (m *Module) CalleeOf(info *types.Info, call *ast.CallExpr) *Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return m.FuncOf(info.Uses[fun])
+	case *ast.SelectorExpr:
+		return m.FuncOf(info.Uses[fun.Sel])
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return m.FuncOf(info.Uses[id])
+		}
+	}
+	return nil
+}
+
+// collectEdges walks f's body and resolves every referenced function object
+// to a module declaration.
+func (m *Module) collectEdges(f *Func) []CallEdge {
+	var edges []CallEdge
+	seen := map[*Func]bool{}
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		used := f.Pkg.Info.Uses[id]
+		if used == nil {
+			return true
+		}
+		target := m.FuncOf(used)
+		if target == nil || target == f {
+			return true
+		}
+		if !seen[target] {
+			seen[target] = true
+			edges = append(edges, CallEdge{To: target, Pos: id.Pos()})
+		}
+		return true
+	})
+	return edges
+}
+
+// sccs returns the strongly connected components of the call graph in
+// bottom-up (callee-first) order.
+func (m *Module) sccs() [][]*Func {
+	var (
+		stack []*Func
+		out   [][]*Func
+		next  = 1
+	)
+	for _, f := range m.Funcs {
+		f.index = 0
+	}
+	var strongconnect func(f *Func)
+	strongconnect = func(f *Func) {
+		f.index, f.lowlink = next, next
+		next++
+		stack = append(stack, f)
+		f.onStack = true
+		for _, e := range f.Calls {
+			w := e.To
+			if w.index == 0 {
+				strongconnect(w)
+				if w.lowlink < f.lowlink {
+					f.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < f.lowlink {
+				f.lowlink = w.index
+			}
+		}
+		if f.lowlink == f.index {
+			var scc []*Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				scc = append(scc, w)
+				if w == f {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	// Deterministic iteration keeps diagnostics and timings stable.
+	for _, key := range sortedKeys(m.Funcs) {
+		if f := m.Funcs[key]; f.index == 0 {
+			strongconnect(f)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]*Func) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: module has a few thousand functions at most
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// HasFuncMarker reports whether f's doc comment carries //flash:<name>.
+func (f *Func) HasFuncMarker(name string) bool {
+	return commentGroupHasMarker(f.Decl.Doc, name)
+}
+
+// MarkerArgs finds //flash:<name> or //flash:<name>(a,b,...) in doc and
+// returns the parenthesized arguments (nil for the bare form).
+func MarkerArgs(doc *ast.CommentGroup, name string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		body, ok := strings.CutPrefix(c.Text, "//flash:")
+		if !ok {
+			continue
+		}
+		body = strings.TrimSpace(body)
+		if body == name {
+			return nil, true
+		}
+		rest, ok := strings.CutPrefix(body, name+"(")
+		if !ok {
+			continue
+		}
+		rest, ok = strings.CutSuffix(strings.TrimSpace(rest), ")")
+		if !ok {
+			continue
+		}
+		var args []string
+		for _, a := range strings.Split(rest, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				args = append(args, a)
+			}
+		}
+		return args, true
+	}
+	return nil, false
+}

@@ -12,12 +12,14 @@ import (
 // randomizes map iteration order, so a single `range m` over a map anywhere
 // in the frame-encode or ship-order path silently breaks both.
 //
-// Functions whose doc comment carries //flash:deterministic are roots;
-// the analyzer walks the package-local static call graph (direct calls and
-// function-value references) and flags every map range statement inside a
-// root or anything reachable from one. Cross-package encode helpers carry
-// their own //flash:deterministic marker in their home package. Test files
-// are never analyzed, so map-keyed subtest tables stay exempt.
+// Functions whose doc comment carries //flash:deterministic are roots. Since
+// flashvet v2 the analyzer walks the *module-wide* call graph (Pass.Mod), so
+// an unannotated helper in another package reached from a deterministic root
+// is checked too — the intraprocedural version went blind at the package
+// boundary and cross-package encode helpers had to carry their own marker.
+// References (not just direct calls) over-approximate reachability, which is
+// the safe direction: a function value handed to parfor or Range is still
+// executed on the path.
 var DetOrder = &Analyzer{
 	Name: "detorder",
 	Doc:  "no map iteration reachable from //flash:deterministic encode/ship-order code",
@@ -25,84 +27,61 @@ var DetOrder = &Analyzer{
 }
 
 func runDetOrder(pass *Pass) error {
-	// Collect every function declaration and its object.
-	decls := map[types.Object]*ast.FuncDecl{}
-	var roots []types.Object
+	reach := pass.Mod.deterministicReach()
+	if len(reach) == 0 {
+		return nil
+	}
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
 			fn, ok := d.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			obj := pass.Info.Defs[fn.Name]
-			if obj == nil {
+			f := pass.Mod.FuncOf(pass.Info.Defs[fn.Name])
+			if f == nil || !reach[f] {
 				continue
 			}
-			decls[obj] = fn
-			if HasMarker(fn, "deterministic") {
-				roots = append(roots, obj)
-			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := typeOf(pass.Info, rng.X).(*types.Map); isMap {
+					pass.Reportf(rng.Pos(),
+						"map iteration in %s is reachable from //flash:deterministic code; iterate a sorted slice instead (map order is randomized)",
+						fn.Name.Name)
+				}
+				return true
+			})
 		}
-	}
-	if len(roots) == 0 {
-		return nil
-	}
-
-	// Build the reference graph: fn → package-local functions it mentions.
-	// References (not just direct calls) over-approximate reachability, which
-	// is the safe direction for a determinism contract: a function value
-	// handed to parfor or Range is still executed on the path.
-	refs := map[types.Object][]types.Object{}
-	for obj, fn := range decls {
-		seen := map[types.Object]bool{}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			used := pass.Info.Uses[id]
-			if used == nil || seen[used] {
-				return true
-			}
-			if _, isFn := decls[used]; isFn {
-				seen[used] = true
-				refs[obj] = append(refs[obj], used)
-			}
-			return true
-		})
-	}
-
-	// BFS from the roots.
-	reachable := map[types.Object]bool{}
-	queue := append([]types.Object(nil), roots...)
-	for len(queue) > 0 {
-		obj := queue[0]
-		queue = queue[1:]
-		if reachable[obj] {
-			continue
-		}
-		reachable[obj] = true
-		queue = append(queue, refs[obj]...)
-	}
-
-	for obj := range reachable {
-		fn := decls[obj]
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			rng, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			tv, ok := pass.Info.Types[rng.X]
-			if !ok || tv.Type == nil {
-				return true
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-				pass.Reportf(rng.Pos(),
-					"map iteration in %s is reachable from //flash:deterministic code; iterate a sorted slice instead (map order is randomized)",
-					fn.Name.Name)
-			}
-			return true
-		})
 	}
 	return nil
+}
+
+// deterministicReach memoizes the set of module functions reachable from any
+// //flash:deterministic root over the module call graph.
+func (m *Module) deterministicReach() map[*Func]bool {
+	if m.detReach != nil {
+		return m.detReach
+	}
+	reach := map[*Func]bool{}
+	var queue []*Func
+	for _, key := range sortedKeys(m.Funcs) {
+		if f := m.Funcs[key]; HasMarker(f.Decl, "deterministic") {
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if reach[f] {
+			continue
+		}
+		reach[f] = true
+		for _, e := range f.Calls {
+			queue = append(queue, e.To)
+		}
+	}
+	m.detReach = reach
+	return reach
 }

@@ -25,7 +25,14 @@ import (
 //     heap allocation);
 //   - a variable-capturing function literal inside a loop body (one closure
 //     environment allocation per iteration; hoist it above the loop, as the
-//     EdgeMap kernels do).
+//     EdgeMap kernels do);
+//   - (flashvet v2) a call to a module function whose dataflow summary says
+//     it allocates in a loop, or — when the call itself sits inside a loop —
+//     allocates at all. The intraprocedural version only saw allocation
+//     syntax in the hot function's own body, so `for { helper() }` hid an
+//     allocation storm one call away. Callees that are themselves marked
+//     //flash:hotpath are exempt: they are checked independently and
+//     zero-alloc by contract.
 //
 // panic arguments are exempt (cold), as are untyped constants (boxed into
 // read-only static interface data by the compiler).
@@ -63,6 +70,7 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 		case *ast.CallExpr:
 			if !exempt[n] && !insideExempt(stack, exempt) {
 				checkHotCall(pass, n, sized)
+				checkHotCallee(pass, n, insideLoop(stack[:len(stack)-1]))
 			}
 		case *ast.FuncLit:
 			if insideLoop(stack[:len(stack)-1]) && capturesVariables(pass, fn, n) {
@@ -78,23 +86,7 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 // and panic calls (programming-error aborts). Exemption covers the whole
 // argument subtree.
 func exemptCalls(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
-	exempt := map[*ast.CallExpr]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			for _, res := range n.Results {
-				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isFmtCall(pass, call) {
-					exempt[call] = true
-				}
-			}
-		case *ast.CallExpr:
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				exempt[n] = true
-			}
-		}
-		return true
-	})
-	return exempt
+	return coldCalls(pass.Info, body)
 }
 
 // insideExempt reports whether the innermost enclosing call on the ancestor
@@ -133,6 +125,26 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, sized map[string]bool) {
 		return
 	}
 	checkBoxing(pass, call)
+}
+
+// checkHotCallee consults the module dataflow summary of a called function:
+// hot code must not call into allocation, even when the allocation lives in
+// another package. Two sanctions apply: a //flash:hotpath callee is already
+// checked on its own terms, and a //flash:amortized callee declares its
+// allocation is paid once per superstep (or once per block miss), not per
+// element — the marker is the reviewed waiver for orchestration helpers like
+// parfor and the out-of-core decode path.
+func checkHotCallee(pass *Pass, call *ast.CallExpr, inLoop bool) {
+	callee := pass.Mod.CalleeOf(pass.Info, call)
+	if callee == nil || HasMarker(callee.Decl, "hotpath") || HasMarker(callee.Decl, "amortized") {
+		return
+	}
+	switch {
+	case callee.Sum.AllocatesInLoop:
+		pass.Reportf(call.Pos(), "call to %s allocates in a loop (per its dataflow summary); pool or pre-size in the callee, or hoist the work off the hot path", callee.Name())
+	case inLoop && callee.Sum.AllocatesEver:
+		pass.Reportf(call.Pos(), "call to allocating %s inside a hot loop allocates per iteration; hoist it above the loop", callee.Name())
+	}
 }
 
 func isFmtCall(pass *Pass, call *ast.CallExpr) bool {

@@ -1,6 +1,6 @@
 // Package lint is flashvet's analyzer framework: a dependency-free skeleton
 // of golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) plus the
-// five custom analyzers that machine-check the runtime invariants PRs 1–3
+// custom analyzers that machine-check the runtime invariants PRs 1–8
 // established in prose:
 //
 //	hotalloc   — no allocating constructs in //flash:hotpath functions
@@ -8,6 +8,14 @@
 //	commerr    — transport and Run errors must be checked or annotated
 //	detorder   — no map iteration reachable from //flash:deterministic code
 //	slotindex  — //flash:slot-indexed state is never indexed by a raw gid
+//	sharedmut  — //flash:immutable types are never written after publish
+//	blockres   — decoded block memory never outlives its superstep scope
+//	phaseorder — //flash:phase call edges respect the superstep machine
+//
+// Since flashvet v2 the checks are interprocedural: RunAnalyzers builds a
+// module-wide call graph with per-function dataflow summaries (callgraph.go,
+// summary.go) that every analyzer consults through Pass.Mod, so taint and
+// reachability survive function and package boundaries.
 //
 // The framework mirrors go/analysis closely enough that the analyzers could
 // be ported to a real multichecker verbatim if x/tools ever becomes a
@@ -25,6 +33,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant check.
@@ -45,6 +54,9 @@ func All() []*Analyzer {
 		CommErr,
 		DetOrder,
 		SlotIndex,
+		SharedMut,
+		BlockRes,
+		PhaseOrder,
 	}
 }
 
@@ -55,6 +67,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Mod is the module-wide interprocedural view (call graph + summaries),
+	// shared by every pass of one RunAnalyzers invocation.
+	Mod *Module
 
 	diags *[]Diagnostic
 
@@ -152,21 +168,42 @@ func commentGroupHasMarker(doc *ast.CommentGroup, name string) bool {
 // RunAnalyzers applies every analyzer to every package and returns the
 // combined diagnostics sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// A Timing is one analyzer's cumulative wall time across all packages. The
+// summary-engine build is reported under the pseudo-analyzer name "summaries".
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall times, so CI can
+// track lint cost like a benchmark.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
+	start := time.Now()
+	mod := BuildModule(pkgs)
+	timings := []Timing{{Name: "summaries", Elapsed: time.Since(start)}}
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		start = time.Now()
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Mod:      mod,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -181,7 +218,58 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, timings, nil
+}
+
+// AuditSuppressions scans every loaded file for suppression markers that
+// lack a reason string: //flash:allow needs "<analyzer> <reason...>" and
+// //flash:ignore-err needs "<reason...>". A reasonless suppression is worse
+// than a diagnostic — it silences the check and records nothing — so the
+// self-check fails on them.
+func AuditSuppressions(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					body, ok := strings.CutPrefix(c.Text, "//flash:")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(body)
+					if len(fields) == 0 {
+						continue
+					}
+					var msg string
+					switch fields[0] {
+					case "allow":
+						if len(fields) < 3 {
+							msg = "//flash:allow without \"<analyzer> <reason>\": a reasonless suppression records nothing; state why the diagnostic is safe"
+						}
+					case "ignore-err":
+						if len(fields) < 2 {
+							msg = "//flash:ignore-err without a reason: state why this error cannot matter here"
+						}
+					}
+					if msg != "" {
+						out = append(out, Diagnostic{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: "suppression-audit",
+							Message:  msg,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // receiverTypeName resolves the named type (sans pointer) a method selection

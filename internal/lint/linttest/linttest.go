@@ -32,20 +32,25 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads fixtureDir as one package and checks analyzer's diagnostics
-// against the fixture's want comments.
+// Run loads fixtureDir — plus any immediate subdirectories, importable as
+// "<fixture>/<sub>", so fixtures can model cross-package dataflow — and
+// checks analyzer's diagnostics against the want comments in every loaded
+// file.
 func Run(t *testing.T, fixtureDir string, analyzer *lint.Analyzer) {
 	t.Helper()
-	pkg, err := lint.LoadDir(fixtureDir, fixtureDir)
+	pkgs, err := lint.LoadTree(fixtureDir, fixtureDir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
 	}
-	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{analyzer})
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{analyzer})
 	if err != nil {
 		t.Fatalf("running %s: %v", analyzer.Name, err)
 	}
 
-	wants := collectWants(t, pkg)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	for _, d := range diags {
 		if !consumeWant(wants, d) {
 			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)

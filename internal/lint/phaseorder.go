@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// PhaseOrder verifies the superstep phase state machine over the module call
+// graph. Engine operations declare where they are legal with
+// //flash:phase(p1,p2,...) using the canonical phases
+//
+//	compute → ship → sync → barrier
+//
+// (vertex programs run; frontier values ship to mirrors; masters fold mirror
+// deltas; checkpoint/membership barrier). The rule is subset legality: code
+// annotated with phases S may reach — through any chain of unannotated
+// module functions, across packages — an annotated operation g only when
+// S ⊆ phases(g). A compute-phase vertex program calling send (ship/sync
+// only), or checkpoint encode mutating sync-phase state, is exactly the
+// paper's §IV-B ordering contract broken at compile time instead of as a
+// nondeterministic divergence at run time.
+//
+// Annotated callees are checked and not traversed (their own annotation
+// re-roots the walk); unannotated roots are unconstrained.
+var PhaseOrder = &Analyzer{
+	Name: "phaseorder",
+	Doc:  "//flash:phase call edges must respect the compute→ship→sync→barrier superstep machine",
+	Run:  runPhaseOrder,
+}
+
+var phaseBit = map[string]uint8{
+	"compute": 1 << 0,
+	"ship":    1 << 1,
+	"sync":    1 << 2,
+	"barrier": 1 << 3,
+}
+
+var phaseNames = []string{"compute", "ship", "sync", "barrier"}
+
+func maskPhases(mask uint8) string {
+	var out []string
+	for _, name := range phaseNames {
+		if mask&phaseBit[name] != 0 {
+			out = append(out, name)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// rawPhaseDiag is a pre-suppression diagnostic from the one-shot module walk,
+// tagged with the package that owns the position so each per-package pass
+// reports (and can //flash:allow-suppress) only its own findings.
+type rawPhaseDiag struct {
+	pos     token.Pos
+	pkgPath string
+	msg     string
+}
+
+func runPhaseOrder(p *Pass) error {
+	for _, d := range p.Mod.phaseWalk() {
+		if d.pkgPath == p.Pkg.Path() {
+			p.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+	return nil
+}
+
+// phaseWalk runs the module-wide phase check once per Module and memoizes the
+// raw diagnostics.
+func (m *Module) phaseWalk() []rawPhaseDiag {
+	if m.phaseOnce {
+		return m.phaseDiags
+	}
+	m.phaseOnce = true
+
+	keys := sortedKeys(m.Funcs)
+	var out []rawPhaseDiag
+	for _, key := range keys {
+		f := m.Funcs[key]
+		if f.Phases == nil {
+			continue
+		}
+		for _, ph := range f.Phases {
+			bit, ok := phaseBit[ph]
+			if !ok {
+				out = append(out, rawPhaseDiag{
+					pos:     f.Decl.Pos(),
+					pkgPath: f.Pkg.Types.Path(),
+					msg:     fmt.Sprintf("unknown phase %q in //flash:phase on %s (canonical: %s)", ph, f.Name(), strings.Join(phaseNames, ", ")),
+				})
+				continue
+			}
+			f.phaseMask |= bit
+		}
+	}
+
+	type visitKey struct {
+		f    *Func
+		mask uint8
+	}
+	seen := map[visitKey]bool{}
+	reported := map[string]bool{}
+	var visit func(f *Func, mask uint8)
+	visit = func(f *Func, mask uint8) {
+		if seen[visitKey{f, mask}] {
+			return
+		}
+		seen[visitKey{f, mask}] = true
+		for _, e := range f.Calls {
+			g := e.To
+			if g.Phases != nil {
+				if mask&^g.phaseMask != 0 {
+					dedup := fmt.Sprintf("%d|%s|%d", e.Pos, g.Key, mask)
+					if !reported[dedup] {
+						reported[dedup] = true
+						out = append(out, rawPhaseDiag{
+							pos:     e.Pos,
+							pkgPath: f.Pkg.Types.Path(),
+							msg: fmt.Sprintf("call into //flash:phase(%s) %s from code running in phase(s) %s; %s is illegal there",
+								strings.Join(g.Phases, ","), g.Name(), maskPhases(mask), maskPhases(mask&^g.phaseMask)),
+						})
+					}
+				}
+				continue
+			}
+			visit(g, mask)
+		}
+	}
+	for _, key := range keys {
+		if f := m.Funcs[key]; f.phaseMask != 0 {
+			visit(f, f.phaseMask)
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	m.phaseDiags = out
+	return out
+}

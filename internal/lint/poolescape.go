@@ -20,7 +20,15 @@ import (
 //   - sent on a channel;
 //   - assigned through a selector, an index expression, a dereference, or
 //     any variable not declared inside the handler (captured or global);
-//   - handed to a goroutine via go or deferred with defer.
+//   - handed to a goroutine via go or deferred with defer;
+//   - passed to a module function whose dataflow summary says it retains
+//     its argument (flashvet v2: the intraprocedural version trusted every
+//     synchronous call, so a helper that stashes the frame one package away
+//     was invisible).
+//
+// Taint also survives module calls that flow a parameter back out (the
+// FlowsToRet summary): d := reframe(data) keeps d tainted when reframe
+// returns a re-slice of its argument.
 //
 // Each of those is a use-after-recycle: the pool will hand the same backing
 // array to the next encoder and the retained alias silently mutates.
@@ -97,6 +105,7 @@ func checkDrainHandler(pass *Pass, lit *ast.FuncLit) {
 		})
 	}
 
+	async := map[*ast.CallExpr]bool{} // go/defer calls get their own message
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ReturnStmt:
@@ -110,12 +119,30 @@ func checkDrainHandler(pass *Pass, lit *ast.FuncLit) {
 				pass.Reportf(n.Value.Pos(), "pooled frame escapes its Drain handler via channel send; copy it first")
 			}
 		case *ast.GoStmt:
+			async[n.Call] = true
 			if callReferencesTainted(pass, n.Call, tainted) {
 				pass.Reportf(n.Call.Pos(), "pooled frame handed to a goroutine outlives its Drain handler; copy it first")
 			}
 		case *ast.DeferStmt:
+			async[n.Call] = true
 			if callReferencesTainted(pass, n.Call, tainted) {
 				pass.Reportf(n.Call.Pos(), "pooled frame captured by defer may be read after recycling; copy it first")
+			}
+		case *ast.CallExpr:
+			// Synchronous call to a module function that retains its
+			// argument: the frame outlives the handler through the callee.
+			if async[n] {
+				break
+			}
+			callee := pass.Mod.CalleeOf(pass.Info, n)
+			if callee == nil {
+				break
+			}
+			for j, arg := range n.Args {
+				if flag(callee.Sum.RetainsParam, paramIndex(callee, j, len(n.Args))) &&
+					taintedAlias(pass, arg, tainted) {
+					pass.Reportf(n.Pos(), "pooled frame passed to %s, which retains it past the handler; copy the bytes instead", callee.Name())
+				}
 			}
 		case *ast.AssignStmt:
 			checkHandlerAssign(pass, lit, n, tainted)
@@ -168,13 +195,23 @@ func declaredWithin(obj types.Object, lit *ast.FuncLit) bool {
 }
 
 // taintedAlias reports whether expr is a direct alias of a tainted slice:
-// the ident itself or a re-slice of it (both share the backing array).
+// the ident itself, a re-slice of it (both share the backing array), or the
+// result of a module call whose summary flows the tainted argument back out.
 func taintedAlias(pass *Pass, expr ast.Expr, tainted map[types.Object]bool) bool {
 	switch e := ast.Unparen(expr).(type) {
 	case *ast.Ident:
 		return tainted[pass.Info.Uses[e]]
 	case *ast.SliceExpr:
 		return taintedAlias(pass, e.X, tainted)
+	case *ast.CallExpr:
+		if callee := pass.Mod.CalleeOf(pass.Info, e); callee != nil {
+			for j, a := range e.Args {
+				if flag(callee.Sum.FlowsToRet, paramIndex(callee, j, len(e.Args))) &&
+					taintedAlias(pass, a, tainted) {
+					return true
+				}
+			}
+		}
 	}
 	return false
 }

@@ -143,8 +143,13 @@ func vidTaintedIdents(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
 
 // isVIDDerived reports whether expr carries a raw vertex id: its type is a
 // named VID type, it converts one, it is arithmetic over one, or it is a
-// tainted local. A non-conversion call breaks the chain — slot-table lookups
-// are calls returning int.
+// tainted local. A call launders the chain only when the callee's summary
+// says its return is not value-derived from a tainted argument — so a helper
+// in another package that does `return int(gid) + off` propagates the taint
+// (the intraprocedural version silently trusted every call), while the
+// sanctioned slot-table lookups (SlotTable.Slot / Lookup, Placement's
+// LocalIndex, and anything marked //flash:slot-launder) stay launder points
+// by construction (see isLaunder in summary.go).
 func isVIDDerived(pass *Pass, expr ast.Expr, tainted map[types.Object]bool) bool {
 	e := ast.Unparen(expr)
 	if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil && isVIDType(tv.Type) {
@@ -154,9 +159,18 @@ func isVIDDerived(pass *Pass, expr ast.Expr, tainted map[types.Object]bool) bool
 	case *ast.Ident:
 		return tainted[pass.Info.Uses[e]]
 	case *ast.CallExpr:
-		// Conversion int(v) / uint32(v) propagates; a real call launders.
+		// Conversion int(v) / uint32(v) propagates.
 		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
 			return isVIDDerived(pass, e.Args[0], tainted)
+		}
+		// A module callee propagates per its DerivesRet summary.
+		if callee := pass.Mod.CalleeOf(pass.Info, e); callee != nil {
+			for j, a := range e.Args {
+				if flag(callee.Sum.DerivesRet, paramIndex(callee, j, len(e.Args))) &&
+					isVIDDerived(pass, a, tainted) {
+					return true
+				}
+			}
 		}
 		return false
 	case *ast.BinaryExpr:

@@ -3,6 +3,8 @@
 // checked or explicitly waived with //flash:ignore-err <reason>.
 package commerr
 
+import "commerr/graph"
+
 type Transport struct{}
 
 func (t *Transport) Send(from, to int, data []byte) error    { return nil }
@@ -134,4 +136,34 @@ func goodServe(c *Catalog, srv *Server) error {
 	c.Evict("g") //flash:ignore-err eviction during shutdown is best-effort
 	_, err := srv.Submit(nil)
 	return err
+}
+
+// BlockGraph stands in for graph.BlockGraph (the out-of-core read surface);
+// Catalog for serve.Catalog (the graph registration surface). WriteBlockFile
+// is a package-level function, matched by (package name, function name).
+type BlockGraph struct{}
+
+func (g *BlockGraph) ReadBlock(d, idx int) ([]byte, error) { return nil, nil }
+
+func (c *Catalog) Add(name string, g *BlockGraph) error { return nil }
+
+func badBlockIO(bg *BlockGraph, cat *Catalog) {
+	bg.ReadBlock(0, 1)                    // want `BlockGraph.ReadBlock error discarded`
+	_, _ = bg.ReadBlock(0, 2)             // want `BlockGraph.ReadBlock error assigned to _`
+	cat.Add("g", bg)                      // want `Catalog.Add error discarded`
+	graph.WriteBlockFile("p.blk", nil)    // want `graph.WriteBlockFile error discarded`
+	go graph.WriteBlockFile("q.blk", nil) // want `graph.WriteBlockFile error discarded by go statement`
+}
+
+func goodBlockIO(bg *BlockGraph, cat *Catalog) error {
+	blk, err := bg.ReadBlock(0, 1)
+	if err != nil {
+		return err
+	}
+	_ = blk
+	if err := graph.WriteBlockFile("p.blk", nil); err != nil {
+		return err
+	}
+	cat.Add("tmp", bg) //flash:ignore-err registration retried on next request
+	return cat.Add("g", bg)
 }

@@ -1,0 +1,26 @@
+// Package detdep is the cross-package half of the detorder fixture: the map
+// iteration lives here, the //flash:deterministic root lives in the parent
+// package. Only the module-wide call graph connects them — the v1
+// per-package analyzer went blind at this boundary (pinned by the negative
+// below staying silent).
+package detdep
+
+func routes() map[int]bool { return nil }
+
+// ShipRouted iterates a map and is reached from the parent package's
+// deterministic root.
+func ShipRouted(dst []byte) []byte {
+	for to := range routes() { // want `map iteration in ShipRouted`
+		_ = to
+	}
+	return dst
+}
+
+// ShipSorted is the pinned negative: reached from the same root, but slice
+// iteration is ordered.
+func ShipSorted(dst []byte) []byte {
+	for i := 0; i < 4; i++ {
+		dst = append(dst, byte(i)) // no diagnostic: ordered loop
+	}
+	return dst
+}

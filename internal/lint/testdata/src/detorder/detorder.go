@@ -2,6 +2,8 @@
 // from) //flash:deterministic frame-encode / ship-order code.
 package detorder
 
+import "detorder/detdep"
+
 type VID uint32
 
 func appendRecord(dst []byte, v VID, s int) []byte { return dst }
@@ -61,4 +63,12 @@ func packBlocksInOrder(blocks [][]byte, dst []byte) []byte {
 		dst = append(dst, enc...)
 	}
 	return dst
+}
+
+// Cross-package reachability: the map iteration is in detorder/detdep, two
+// call hops away. flashvet v1 analyzed one package at a time and missed it.
+//
+//flash:deterministic
+func encodeCross(dst []byte) []byte {
+	return detdep.ShipRouted(detdep.ShipSorted(dst))
 }

@@ -2,7 +2,11 @@
 // //flash:hotpath functions plus negative cases that must stay silent.
 package hotalloc
 
-import "fmt"
+import (
+	"fmt"
+
+	"hotalloc/hotdep"
+)
 
 type VID uint32
 
@@ -117,4 +121,21 @@ func hotBlockDecodeGood(metas []blockMeta, idx int, edges []VID) []VID {
 		adj = append(adj, v) // no diagnostic: destination carries capacity
 	}
 	return adj
+}
+
+// Cross-package allocation: the allocations live in hotalloc/hotdep, behind
+// calls v1 treated as opaque. The summaries carry them to the hot call site.
+//
+//flash:hotpath
+func hotCrossPackage(n int, dst []int) []int {
+	buckets := hotdep.FillBuckets(n) // want `call to FillBuckets allocates in a loop`
+	_ = buckets
+	for i := 0; i < n; i++ {
+		s := hotdep.Scratch(n) // want `call to allocating Scratch inside a hot loop`
+		_ = s
+		dst = hotdep.Reuse(dst, i) // no diagnostic: callee allocates nothing, pinned
+		t := hotdep.Table(n)       // no diagnostic: //flash:amortized callee
+		_ = t
+	}
+	return dst
 }

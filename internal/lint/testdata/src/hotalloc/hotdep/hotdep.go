@@ -1,0 +1,33 @@
+// Package hotdep is the cross-package half of the hotalloc fixture: the
+// allocations happen here, inside callees a //flash:hotpath caller reaches
+// across the package boundary. The v1 analyzer only saw allocation syntax in
+// the hot function's own body; the dataflow summaries carry AllocatesEver /
+// AllocatesInLoop to the call site.
+package hotdep
+
+// FillBuckets allocates inside its own loop: one call from a hot path is a
+// hidden per-element allocation storm.
+func FillBuckets(n int) [][]int {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, 8))
+	}
+	return out
+}
+
+// Scratch allocates once per call.
+func Scratch(n int) []int { return make([]int, n) }
+
+// Reuse writes into a caller-provided buffer and allocates nothing — the
+// pinned negative for the summary-driven callee check.
+func Reuse(dst []int, v int) []int {
+	if len(dst) > 0 {
+		dst[0] = v
+	}
+	return dst
+}
+
+// Table allocates, but by declaration only once per superstep.
+//
+//flash:amortized one table per superstep, reused across elements
+func Table(n int) []int { return make([]int, n) }

@@ -1,0 +1,59 @@
+// Fixture for the phaseorder analyzer: //flash:phase(p1,...) declares the
+// superstep phases (compute → ship → sync → barrier) a function may run in;
+// every call chain — through any number of unannotated helpers — must stay
+// inside the callee's declared phases.
+package phaseorder
+
+// send mirrors the engine's transport push: legal while shipping frontier
+// values and while masters pull mirror deltas, never from a vertex program.
+//
+//flash:phase(ship,sync)
+func send(to int, data []byte) error { return nil }
+
+// syncMirrors runs in the sync phase only; sync ⊆ {ship,sync}, so its send
+// is legal.
+//
+//flash:phase(sync)
+func syncMirrors(data []byte) error {
+	return send(0, data) // no diagnostic: sync is within the callee's phases
+}
+
+// A vertex program calling the transport directly: the paper's §IV-B
+// ordering contract broken — compute-phase code must not ship.
+//
+//flash:phase(compute)
+func gatherBad(data []byte) {
+	_ = send(1, data) // want `call into //flash:phase\(ship,sync\) send from code running in phase\(s\) compute; compute is illegal there`
+}
+
+// shipThrough is unannotated: it runs in whatever phase its caller runs in,
+// so the walk threads each caller's mask through it. The barrier-phase
+// caller below makes the send here illegal; the ship-phase caller does not.
+func shipThrough(data []byte) {
+	_ = send(2, data) // want `call into //flash:phase\(ship,sync\) send from code running in phase\(s\) barrier; barrier is illegal there`
+}
+
+//flash:phase(ship)
+func broadcast(data []byte) {
+	shipThrough(data) // no diagnostic: ship reaches send legally
+}
+
+//flash:phase(barrier)
+func checkpointBad(data []byte) {
+	shipThrough(data) // the violation is reported inside shipThrough, above
+}
+
+// vertexCompute is legal compute-phase work: annotated compute callee.
+//
+//flash:phase(compute)
+func applyDelta(v int) {}
+
+//flash:phase(compute)
+func vertexProgram(v int) {
+	applyDelta(v) // no diagnostic: compute ⊆ compute
+}
+
+// A typo'd phase name is itself a diagnostic, caught at the declaration.
+//
+//flash:phase(compute,refine)
+func typoPhase() {} // want `unknown phase "refine" in //flash:phase on typoPhase`

@@ -1,0 +1,20 @@
+// Package pooldep is the cross-package half of the poolescape fixture: the
+// retention happens here, behind a call boundary the v1 intraprocedural
+// analyzer could not see through. The dataflow summaries connect the Drain
+// handler's frame to Stash's package-state append.
+package pooldep
+
+var stash [][]byte
+
+// Stash retains its argument in package state.
+func Stash(b []byte) { stash = append(stash, b) }
+
+// Checksum only reads its argument — the pinned negative: summary-driven
+// call checks must not flag synchronous read-only callees.
+func Checksum(b []byte) int {
+	t := 0
+	for _, x := range b {
+		t += int(x)
+	}
+	return t
+}

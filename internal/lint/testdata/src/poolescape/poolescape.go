@@ -3,13 +3,15 @@
 // is a use-after-recycle.
 package poolescape
 
+import "poolescape/pooldep"
+
 type Transport struct{}
 
 func (t *Transport) Drain(to int, h func(from int, data []byte)) error { return nil }
 
-func consume(b []byte)  {}
-func decode(b []byte)   {}
-func keep(b []byte)     {}
+func consume(b []byte) {}
+func decode(b []byte)  {}
+func keep(b []byte)    {}
 
 var stash [][]byte
 var sink []byte
@@ -24,8 +26,8 @@ func bad(tr *Transport, h *holder) {
 		stash = append(stash, data) // want `stored in stash`
 		frames <- data              // want `channel send`
 		d := data[4:]
-		local = d      // want `stored in local`
-		h.buf = data   // want `stored through h.buf`
+		local = d        // want `stored in local`
+		h.buf = data     // want `stored through h.buf`
 		go consume(data) // want `handed to a goroutine`
 		defer keep(data) // want `captured by defer`
 	})
@@ -53,6 +55,19 @@ func good(tr *Transport) int {
 		decode(data)       // no diagnostic: synchronous use inside the handler
 		head := data[:2]
 		decode(head) // no diagnostic: alias used synchronously
+	})
+	_ = err
+	return total
+}
+
+// Cross-package retention: pooldep.Stash appends the frame to package state
+// in another package. Only the callee's summary (RetainsParam) makes the
+// call site a sink; v1 silently trusted every call it could not see into.
+func crossPackage(tr *Transport) int {
+	total := 0
+	err := tr.Drain(0, func(from int, data []byte) {
+		pooldep.Stash(data)             // want `passed to Stash, which retains it past the handler`
+		total += pooldep.Checksum(data) // no diagnostic: read-only callee, pinned
 	})
 	_ = err
 	return total

@@ -1,0 +1,102 @@
+// Fixture for the sharedmut analyzer: types marked //flash:immutable are
+// shared read-only once published (the core.SharedGraph contract), so no
+// write may reach them except through the sanctioned escapes — construction
+// of fresh memory, a //flash:mutator owner, or a //flash:privatizes fork
+// (copy-on-write) earlier in the same body.
+package sharedmut
+
+// Part mirrors partition.Part: one worker's published partition view.
+//
+//flash:immutable
+type Part struct {
+	Worker        int
+	MirrorWorkers [][]int
+}
+
+// Partitioned mirrors partition.Partitioned: the shared per-worker bundle.
+//
+//flash:immutable
+type Partitioned struct {
+	Parts []*Part
+}
+
+// Fork returns a private shallow copy whose Parts slice may be swapped —
+// the sanctioned copy-on-write escape.
+func (p *Partitioned) Fork() *Partitioned {
+	return &Partitioned{Parts: append([]*Part(nil), p.Parts...)}
+}
+
+// Rebuild repopulates one worker's part in place; callers must hold a
+// private (forked or freshly built) copy.
+//
+//flash:mutator
+func (p *Partitioned) Rebuild(w int) *Part {
+	part := &Part{Worker: w}
+	p.Parts[w] = part // no diagnostic: the owner is //flash:mutator
+	return part
+}
+
+type engine struct {
+	part   *Partitioned
+	shared bool
+}
+
+// privatizePart mirrors core's privatizePart: fork before first mutation.
+//
+//flash:privatizes
+func (e *engine) privatizePart() {
+	if e.shared {
+		e.part = e.part.Fork()
+		e.shared = false
+	}
+}
+
+// The PR 7 bug class: a cold-restart recovery path rebuilding through a
+// still-shared partition, clobbering the layout under every other engine
+// borrowing the same catalog entry.
+func (e *engine) coldRestartUnforked(victim int) {
+	e.part.Rebuild(victim) // want `call to //flash:mutator \(\*Partitioned\)\.Rebuild mutates shared //flash:immutable Partitioned`
+}
+
+// The fix: privatize (fork) first, then rebuild the private copy.
+func (e *engine) coldRestartForked(victim int) {
+	e.privatizePart()
+	e.part.Rebuild(victim) // no diagnostic: privatized above
+}
+
+// Forking inline also sanctions the mutation: the local is fresh memory.
+func (e *engine) coldRestartInlineFork(victim int) {
+	mine := e.part.Fork()
+	mine.Rebuild(victim) // no diagnostic: Fork returns fresh memory
+	e.part = mine
+}
+
+func (e *engine) clobberMirrors(victim int) {
+	e.part.Parts[victim].MirrorWorkers = nil // want `write through //flash:immutable Part after publish`
+}
+
+// scrubPart is a mutator taking the shared value as an argument rather than
+// a receiver; call sites are checked the same way.
+//
+//flash:mutator
+func scrubPart(p *Part) {
+	p.MirrorWorkers = nil
+}
+
+func (e *engine) scrubShared(victim int) {
+	scrubPart(e.part.Parts[victim]) // want `passing shared //flash:immutable Part to //flash:mutator scrubPart`
+}
+
+// Construction-time writes are private until the value is published.
+func build(n int) *Partitioned {
+	p := &Partitioned{Parts: make([]*Part, n)}
+	for w := range p.Parts {
+		p.Parts[w] = &Part{Worker: w} // no diagnostic: p is still private
+	}
+	return p
+}
+
+// Reads through shared immutable state are always free.
+func readShared(e *engine, victim int) int {
+	return e.part.Parts[victim].Worker
+}

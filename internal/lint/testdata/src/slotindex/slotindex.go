@@ -2,6 +2,8 @@
 // entry per resident vertex and may only be indexed through the slot table.
 package slotindex
 
+import "slotindex/slotdep"
+
 type VID uint32
 
 type SlotTable struct{}
@@ -37,4 +39,14 @@ func good(w *worker, gid VID) float64 {
 	}
 	a += w.scratch[int(gid)] // no diagnostic: slice is not tagged
 	return a
+}
+
+// Cross-package derivation: slotdep.AsIndex derives its result from the raw
+// vertex id (per its summary), so the index is still raw; slotdep.SlotOf is
+// a //flash:slot-launder boundary, the pinned negative v1 applied to every
+// call indiscriminately.
+func crossPackage(w *worker, gid VID) float64 {
+	a := w.cur[slotdep.AsIndex(slotdep.VID(gid))] // want `derived from a raw vertex id`
+	s := slotdep.SlotOf(slotdep.VID(gid))
+	return a + w.cur[s] // no diagnostic: laundered in the dep package
 }

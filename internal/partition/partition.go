@@ -116,7 +116,10 @@ func (p *HashPlacement) GlobalID(w, local int) graph.VID {
 	return graph.VID(local*p.m + w)
 }
 
-// Part is one worker's view of the partitioned graph.
+// Part is one worker's view of the partitioned graph. Parts are shared
+// read-only between every engine borrowing the same catalog partition.
+//
+//flash:immutable
 type Part struct {
 	Worker int
 	// Masters is the set of local master ids (global numbering).
@@ -137,6 +140,10 @@ type Part struct {
 }
 
 // Partitioned bundles the adjacency source, placement, and per-worker parts.
+// Once published (installed in a catalog or handed to an engine) it is
+// read-only; Rebuild must only run on a Fork-private copy.
+//
+//flash:immutable
 type Partitioned struct {
 	G      Adjacency
 	Place  Placement
@@ -215,6 +222,8 @@ func Shell(g Adjacency, place Placement) *Partitioned {
 // The result is identical to the Part New produced, so the restarted
 // worker's slot-indexed state lines up with the checkpoint image byte for
 // byte.
+//
+//flash:mutator
 func (p *Partitioned) Rebuild(w int) *Part {
 	g, place, n := p.G, p.Place, p.nTotal
 	part := &Part{
