@@ -29,11 +29,17 @@ func PageRank(g *graph.Graph, maxIters int, eps float64, opts ...flash.Option) (
 		e.VertexMap(e.All(), nil, func(v flash.Vertex[prProps]) prProps {
 			return prProps{Rank: 1 / n}
 		})
-		return prIterate(e, g, maxIters, eps, n, damping)
+		if err := prIterate(e, g, maxIters, eps, n, damping); err != nil {
+			return err
+		}
+		// Extract inside Run: in cluster mode Gather is a communication round
+		// whose failure must unwind through Run's recovery envelope, not
+		// escape as a panic.
+		e.Gather(func(v graph.VID, val *prProps) { out[v] = val.Rank })
+		return nil
 	}); err != nil {
 		return nil, err
 	}
-	e.Gather(func(v graph.VID, val *prProps) { out[v] = val.Rank })
 	return out, nil
 }
 

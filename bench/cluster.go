@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"flash"
+	"flash/internal/cluster"
+	"flash/internal/serve"
+)
+
+// ClusterStat is one multi-process entry in BENCH_flash.json: the same BFS
+// job timed in-process over the loopback TCP mesh (every worker a goroutine
+// of one process) and cross-process (every worker its own `flashd worker`
+// OS process under a supervising coordinator). The delta is the cost of real
+// process isolation: per-process graph build, mesh handshakes, and the
+// control round that replicates frontier bits across address spaces.
+type ClusterStat struct {
+	InProcNs int64 `json:"inproc_ns"` // in-process engine, TCP transport
+	CrossNs  int64 `json:"cross_ns"`  // spawned fleet, wall time incl. spawn+register
+	Workers  int   `json:"workers"`
+	Restarts int   `json:"restarts"` // must be 0 in a fault-free benchmark run
+}
+
+var (
+	benchBinOnce sync.Once
+	benchBinPath string
+	benchBinErr  error
+)
+
+// benchFlashdBin builds the flashd binary once per process, into a temp dir
+// that lives for the process lifetime (benchmarks are short-lived tools).
+func benchFlashdBin() (string, error) {
+	benchBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "flash-bench-bin-")
+		if err != nil {
+			benchBinErr = err
+			return
+		}
+		benchBinPath = filepath.Join(dir, "flashd")
+		out, err := exec.Command("go", "build", "-o", benchBinPath, "flash/cmd/flashd").CombinedOutput()
+		if err != nil {
+			benchBinErr = fmt.Errorf("build flashd: %v\n%s", err, out)
+		}
+	})
+	return benchBinPath, benchBinErr
+}
+
+// MeasureCluster times the fixed-graph BFS at `workers` workers, in-process
+// versus cross-process, and reports both wall times. The cross-process run
+// includes fleet spawn and registration — that overhead is the honest price
+// of process isolation and belongs in the committed number.
+func MeasureCluster(workers int) (ClusterStat, error) {
+	bin, err := benchFlashdBin()
+	if err != nil {
+		return ClusterStat{}, err
+	}
+	spec := serve.GraphSpec{Name: "bench-rmat", Gen: "rmat", N: 4096, M: 4096 * 12, Seed: 101}
+	root := uint64(0)
+	params := serve.JobParams{Root: &root}
+
+	g, err := serve.BuildGraph(spec)
+	if err != nil {
+		return ClusterStat{}, err
+	}
+	start := time.Now()
+	inprocPayload, err := serve.RunAlgo("bfs", g, params,
+		flash.WithWorkers(workers), flash.WithTCP())
+	if err != nil {
+		return ClusterStat{}, fmt.Errorf("in-process run: %w", err)
+	}
+	inproc := time.Since(start)
+
+	coord, err := cluster.New(cluster.Config{
+		BinPath: bin, Workers: workers, Graph: spec, Algo: "bfs", Params: params,
+	})
+	if err != nil {
+		return ClusterStat{}, err
+	}
+	start = time.Now()
+	crossPayload, err := coord.Run()
+	if err != nil {
+		return ClusterStat{}, fmt.Errorf("cross-process run: %w", err)
+	}
+	cross := time.Since(start)
+
+	// The benchmark doubles as a correctness probe: a perf number for a run
+	// that diverged from the in-process result would be meaningless.
+	if string(inprocPayload) != string(crossPayload) {
+		return ClusterStat{}, fmt.Errorf("cross-process result diverged from in-process result")
+	}
+	return ClusterStat{
+		InProcNs: inproc.Nanoseconds(),
+		CrossNs:  cross.Nanoseconds(),
+		Workers:  workers,
+		Restarts: coord.Restarts(),
+	}, nil
+}

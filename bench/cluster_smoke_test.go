@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestClusterBenchSmoke runs the cross-process measurement end to end at the
+// smallest fleet: it builds flashd, spawns two real worker processes, and
+// checks the stat is coherent. It doubles as the CI guard that the `cluster`
+// section of BENCH_flash.json can actually be produced.
+func TestClusterBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns flashd worker processes")
+	}
+	cs, err := MeasureCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", cs.Workers)
+	}
+	if cs.InProcNs <= 0 || cs.CrossNs <= 0 {
+		t.Fatalf("non-positive timings: inproc %d, cross %d", cs.InProcNs, cs.CrossNs)
+	}
+	if cs.Restarts != 0 {
+		t.Fatalf("fault-free benchmark run took %d restarts", cs.Restarts)
+	}
+}
+
+// TestClusterBaselineSection pins the committed BENCH_flash.json: once the
+// cluster section ships, it must not silently disappear from the baseline.
+func TestClusterBaselineSection(t *testing.T) {
+	base, err := ReadPerfJSON("../BENCH_flash.json")
+	if err != nil {
+		t.Skip("no committed BENCH_flash.json baseline")
+	}
+	if len(base.Cluster) == 0 {
+		t.Fatal("committed BENCH_flash.json has no cluster section")
+	}
+	for k, cs := range base.Cluster {
+		if cs.InProcNs <= 0 || cs.CrossNs <= 0 || cs.Workers < 2 {
+			t.Fatalf("%s: malformed cluster stat %+v", k, cs)
+		}
+	}
+}

@@ -112,6 +112,7 @@ type PerfSuite struct {
 	Resize      map[string]ResizeStat   `json:"resize,omitempty"`
 	Serve       map[string]ServeStat    `json:"serve,omitempty"`
 	Ooc         map[string]OOCStat      `json:"ooc,omitempty"`
+	Cluster     map[string]ClusterStat  `json:"cluster,omitempty"`
 	Suite       []PerfCell              `json:"suite"`
 }
 
@@ -354,6 +355,7 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 		Recovery:   map[string]RecoveryStat{},
 		Resize:     map[string]ResizeStat{},
 		Serve:      map[string]ServeStat{},
+		Cluster:    map[string]ClusterStat{},
 	}
 	for _, c := range []struct{ w, t int }{{1, 1}, {4, 1}, {4, 4}} {
 		r := MicroSparse(c.w, c.t)
@@ -379,6 +381,16 @@ func FixedSuite(reps int) (*PerfSuite, error) {
 			return nil, fmt.Errorf("resize %s: %w", transport, err)
 		}
 		s.Resize[fmt.Sprintf("bfs_elastic_%s_w2to8to4", transport)] = rz
+	}
+	// Multi-process cluster mode: the same BFS as one process of w workers
+	// vs w separate worker processes, so the isolation overhead (spawn,
+	// handshake, cross-address-space control rounds) is a committed number.
+	for _, w := range []int{2, 4} {
+		cs, err := MeasureCluster(w)
+		if err != nil {
+			return nil, fmt.Errorf("cluster w%d: %w", w, err)
+		}
+		s.Cluster[fmt.Sprintf("bfs_cross_w%d", w)] = cs
 	}
 	// Service throughput: the fixed flashd job mix at serial and concurrent
 	// scheduling, so the serving layer's jobs/sec has a committed baseline.
@@ -576,6 +588,17 @@ func PrintPerf(w io.Writer, s *PerfSuite) {
 		fmt.Fprintf(w, "%-28s %12d ns/op ooc vs %12d inmem  hit %5.1f%% %6d evicts  %8d B/dense-step %8d B/sparse-step  resident %d B vs %d B CSR\n",
 			k, o.NsPerOp, o.InMemNsPerOp, o.CacheHitRate*100, o.Evictions,
 			o.BytesPerDenseStep, o.BytesPerSparseStep, o.ResidentBytes, o.InMemBytes)
+	}
+	clKeys := make([]string, 0, len(s.Cluster))
+	for k := range s.Cluster {
+		clKeys = append(clKeys, k)
+	}
+	sort.Strings(clKeys)
+	for _, k := range clKeys {
+		cl := s.Cluster[k]
+		fmt.Fprintf(w, "%-28s cross-process %9.1fms vs %9.1fms in-process (w%d, %.2fx, %d restarts)\n",
+			k, float64(cl.CrossNs)/1e6, float64(cl.InProcNs)/1e6,
+			cl.Workers, float64(cl.CrossNs)/float64(cl.InProcNs), cl.Restarts)
 	}
 	for _, c := range s.Suite {
 		fmt.Fprintf(w, "%-24s %12d ns/op %8d allocs/op %10d B sent %8d msgs %5d steps\n",

@@ -29,10 +29,18 @@ import (
 	"syscall"
 	"time"
 
+	"flash/internal/cluster"
 	"flash/internal/serve"
 )
 
 func main() {
+	// `flashd worker ...` is the cluster-mode subprocess entry point: one
+	// resident worker of a multi-process job, spawned and supervised by a
+	// cluster.Coordinator. Dispatch before flag parsing — the subcommand
+	// owns its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		os.Exit(cluster.WorkerMain(os.Args[2:]))
+	}
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		maxConc = flag.Int("max-concurrent", 4, "jobs executing at once")

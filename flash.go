@@ -263,6 +263,33 @@ func WithRetryBackoff(d time.Duration) Option { return func(c *core.Config) { c.
 // the recovery machinery.
 func WithFaultPlan(p FaultPlan) Option { return func(c *core.Config) { c.FaultPlan = &p } }
 
+// ---- cluster (multi-process) mode ----
+
+// ClusterSpec switches an engine into multi-process SPMD mode: this process
+// computes only Resident's share, peer processes own the other workers, and
+// the transport must be a connected comm.ListenTCPCluster endpoint. See
+// internal/cluster for the coordinator that spawns and supervises such
+// processes.
+type ClusterSpec = core.ClusterSpec
+
+// WorkerStore is one worker process's durable state directory: checkpoint
+// images plus the superstep log that deterministic fast-forward resume
+// replays.
+type WorkerStore = core.WorkerStore
+
+// OpenWorkerStore opens (creating if needed) worker w's durable state
+// directory under dir.
+func OpenWorkerStore(dir string, w int) (*WorkerStore, error) {
+	return core.OpenWorkerStore(dir, w)
+}
+
+// WithCluster switches the engine into cluster mode with the given spec.
+// Incompatible with fault plans, resize policies, shared graphs and the
+// block backend; requires WithTransport carrying a cluster endpoint.
+func WithCluster(spec ClusterSpec) Option {
+	return func(c *core.Config) { c.Cluster = &spec }
+}
+
 // ---- elastic membership ----
 
 // StepInfo is the per-superstep snapshot handed to a ResizePolicy: supersteps

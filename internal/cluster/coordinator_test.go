@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flash"
+	"flash/internal/serve"
+)
+
+// binPath is the flashd binary every test spawns, built once in TestMain.
+var binPath string
+
+func TestMain(m *testing.M) {
+	os.Exit(func() int {
+		dir, err := os.MkdirTemp("", "flashd-bin-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		binPath = filepath.Join(dir, "flashd")
+		out, err := exec.Command("go", "build", "-o", binPath, "flash/cmd/flashd").CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "build flashd: %v\n%s", err, out)
+			return 1
+		}
+		return m.Run()
+	}())
+}
+
+// testGraph is the deterministic spec every test fleet rebuilds.
+var testGraph = serve.GraphSpec{Name: "er", Gen: "er", N: 300, M: 1500, Seed: 7}
+
+func uptr(v uint64) *uint64   { return &v }
+func iptr(v int) *int         { return &v }
+func fptr(v float64) *float64 { return &v }
+
+// golden runs the same job in-process with the same worker count, which is
+// the determinism contract: the cluster fleet must produce byte-identical
+// JSON.
+func golden(t *testing.T, spec serve.GraphSpec, algo string, p serve.JobParams, workers int) []byte {
+	t.Helper()
+	g, err := serve.BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := serve.RunAlgo(algo, g, p, flash.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func TestCoordinatorHappyPath(t *testing.T) {
+	params := serve.JobParams{Root: uptr(0)}
+	c, err := New(Config{
+		BinPath: binPath, Workers: 2, Graph: testGraph, Algo: "bfs", Params: params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := golden(t, testGraph, "bfs", params, 2); !bytes.Equal(payload, want) {
+		t.Fatalf("cluster result differs from in-process golden:\n got %.120s\nwant %.120s", payload, want)
+	}
+	if c.Restarts() != 0 {
+		t.Fatalf("fault-free run took %d restarts", c.Restarts())
+	}
+}
+
+func TestCoordinatorKillRestartResume(t *testing.T) {
+	// PageRank with a fixed iteration budget: ~120 supersteps, long enough
+	// that the SIGKILL lands mid-run, after the victim's third checkpoint.
+	spec := serve.GraphSpec{Name: "er", Gen: "er", N: 1000, M: 8000, Seed: 7}
+	params := serve.JobParams{MaxIters: iptr(30), Eps: fptr(0)}
+	c, err := New(Config{
+		BinPath: binPath, Workers: 2, Graph: spec, Algo: "pagerank", Params: params,
+		StoreDir: t.TempDir(), CheckpointEvery: 5, MaxRestarts: 3,
+		Chaos: &ChaosPlan{Worker: 1, Kind: FaultKill, AwaitSeq: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := golden(t, spec, "pagerank", params, 2); !bytes.Equal(payload, want) {
+		t.Fatalf("post-kill result differs from golden")
+	}
+	if c.Restarts() < 1 {
+		t.Fatalf("SIGKILL chaos caused %d restarts, want >= 1", c.Restarts())
+	}
+}
+
+func TestCoordinatorStopDrains(t *testing.T) {
+	// A long PageRank so Stop lands mid-run: eps 0 disables convergence
+	// exit, so only the iteration budget ends it.
+	params := serve.JobParams{MaxIters: iptr(500), Eps: fptr(0)}
+	c, err := New(Config{
+		BinPath: binPath, Workers: 2,
+		Graph:  serve.GraphSpec{Name: "er", Gen: "er", N: 2000, M: 16000, Seed: 11},
+		Algo:   "pagerank",
+		Params: params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var payload []byte
+	go func() {
+		var rerr error
+		payload, rerr = c.Run()
+		done <- rerr
+	}()
+	time.Sleep(500 * time.Millisecond)
+	c.Stop()
+	select {
+	case rerr := <-done:
+		if rerr == nil {
+			// The job won the race against the drain; that is a legal
+			// outcome, just not the one this test is about.
+			if payload == nil {
+				t.Fatal("nil error and nil payload")
+			}
+			t.Skip("job finished before the drain landed")
+		}
+		var we *WorkerError
+		if !errors.As(rerr, &we) {
+			t.Fatalf("Run error %T %v, want *WorkerError", rerr, rerr)
+		}
+		if we.Verdict != VerdictDrained {
+			t.Fatalf("verdict %q (exit %d), want %q", we.Verdict, we.ExitCode, VerdictDrained)
+		}
+		if we.ExitCode != ExitDrained {
+			t.Fatalf("exit code %d, want %d", we.ExitCode, ExitDrained)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+}
+
+func TestCoordinatorConfigRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no binary", Config{Workers: 2, Algo: "bfs"}},
+		{"one worker", Config{BinPath: binPath, Workers: 1, Algo: "bfs"}},
+		{"unsafe algo", Config{BinPath: binPath, Workers: 2, Algo: "lpa"}},
+		{"chaos victim range", Config{BinPath: binPath, Workers: 2, Algo: "bfs",
+			Chaos: &ChaosPlan{Worker: 5, Kind: FaultKill}}},
+		{"chaos await without store", Config{BinPath: binPath, Workers: 2, Algo: "bfs",
+			Chaos: &ChaosPlan{Worker: 0, Kind: FaultKill, AwaitSeq: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+		}
+	}
+}
+
+// TestWorkerExitCodes pins the `flashd worker` exit-code vocabulary the
+// coordinator's verdicts (and the README table) are built on.
+func TestWorkerExitCodes(t *testing.T) {
+	graphJSON := `{"name":"er","gen":"er","n":64,"m":256,"seed":1}`
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no flags", nil, ExitConfig},
+		{"worker out of range", []string{"-worker", "7", "-workers", "2", "-graph", graphJSON, "-algo", "bfs"}, ExitConfig},
+		{"unsafe algo", []string{"-worker", "0", "-workers", "2", "-graph", graphJSON, "-algo", "lpa"}, ExitConfig},
+		{"bad graph spec", []string{"-worker", "0", "-workers", "2", "-graph", "{", "-algo", "bfs"}, ExitConfig},
+		{"no start message", []string{"-worker", "0", "-workers", "2", "-graph", graphJSON, "-algo", "bfs",
+			"-params", `{"root":0}`, "-connect-timeout", "200ms"}, ExitProtocol},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(binPath, append([]string{"worker"}, tc.args...)...)
+			cmd.Stdin = bytes.NewReader(nil) // immediate EOF on the control channel
+			err := cmd.Run()
+			code := 0
+			var xe *exec.ExitError
+			if errors.As(err, &xe) {
+				code = xe.ExitCode()
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if code != tc.want {
+				t.Fatalf("exit code %d, want %d", code, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"flash/internal/comm"
+)
+
+// FuzzParseHello hammers the mesh handshake parser: any byte string must
+// produce either a valid (worker, epoch) pair or a typed *HandshakeError —
+// never a panic, and never a silent accept of corrupt bytes.
+func FuzzParseHello(f *testing.F) {
+	f.Add(comm.EncodeHello(0, 1))
+	f.Add(comm.EncodeHello(3, 7))
+	f.Add([]byte{})
+	f.Add([]byte("FLSH"))
+	f.Add([]byte("GET / HTTP/1.1\r\n\r"))                                       // a confused HTTP client, 17 bytes
+	f.Add([]byte{'F', 'L', 'S', 'H', 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // bad version
+	f.Fuzz(func(t *testing.T, data []byte) {
+		worker, epoch, err := comm.ParseHello(data)
+		if err != nil {
+			var he *comm.HandshakeError
+			if !errors.As(err, &he) {
+				t.Fatalf("ParseHello error %T %v, want *HandshakeError", err, err)
+			}
+			return
+		}
+		// Accepted hellos must round-trip: re-encoding the extracted identity
+		// reproduces the input exactly, so nothing was silently ignored.
+		if got := comm.EncodeHello(worker, epoch); string(got) != string(data) {
+			t.Fatalf("accepted hello does not round-trip: % x -> (w=%d e=%d) -> % x", data, worker, epoch, got)
+		}
+	})
+}
+
+// FuzzParseMessage hammers the coordinator control-plane parser with
+// arbitrary lines. Anything but a well-formed, known-type message must come
+// back as a *ProtocolError.
+func FuzzParseMessage(f *testing.F) {
+	f.Add([]byte(`{"type":"register","worker":1,"epoch":2,"addr":"127.0.0.1:9","latest_seq":3}`))
+	f.Add([]byte(`{"type":"start","peers":["a","b"],"resume_seq":1}`))
+	f.Add([]byte(`{"type":"result","result":[0,1,2]}`))
+	f.Add([]byte(`{"type":"fail","error":"boom"}`))
+	f.Add([]byte(`{"type":"chaos","fault":"partition"}`))
+	f.Add([]byte(`{"type":"evil"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		m, err := ParseMessage(line)
+		if err != nil {
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseMessage error %T %v, want *ProtocolError", err, err)
+			}
+			return
+		}
+		// A parsed message must survive the emit path (marshal + reparse).
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal accepted message: %v", err)
+		}
+		if _, err := ParseMessage(b); err != nil {
+			t.Fatalf("re-parse of %s: %v", b, err)
+		}
+	})
+}
+
+// TestHostilePeerRejected drives the handshake rejection path live: a raw
+// socket writing garbage, a well-formed hello from a stale epoch, and an
+// out-of-range worker id are all disconnected — and the real mesh still
+// forms afterwards, proving a hostile dialer cannot wedge cluster setup.
+func TestHostilePeerRejected(t *testing.T) {
+	eps := make([]*comm.TCP, 2)
+	addrs := make([]string, 2)
+	for i := range eps {
+		ep, err := comm.ListenTCPCluster(comm.ClusterConfig{Workers: 2, Self: i, Listen: "127.0.0.1:0", Epoch: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	hostile := [][]byte{
+		[]byte("not a hello frame at all....."),
+		comm.EncodeHello(1, 4),  // stale epoch (mesh is at 5)
+		comm.EncodeHello(99, 5), // out-of-range worker for a 2-worker mesh
+	}
+	for _, frame := range hostile {
+		conn, err := net.Dial("tcp", addrs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("write hostile frame: %v", err)
+		}
+		// The listener must hang up on us, not sit on the socket.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err == nil {
+			t.Fatalf("hostile peer got data back for frame % x", frame)
+		}
+		conn.Close()
+	}
+	// The legitimate mesh still connects and completes a round.
+	errc := make(chan error, 2)
+	for i := range eps {
+		i := i
+		go func() {
+			if err := eps[i].ConnectPeers(addrs, 10*time.Second); err != nil {
+				errc <- err
+				return
+			}
+			if err := eps[i].Send(i, 1-i, []byte{byte(i)}); err != nil {
+				errc <- err
+				return
+			}
+			if err := eps[i].EndRound(i); err != nil {
+				errc <- err
+				return
+			}
+			errc <- eps[i].Drain(i, func(from int, data []byte) {})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("mesh after hostile dials: %v", err)
+		}
+	}
+}

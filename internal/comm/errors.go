@@ -75,6 +75,21 @@ type WorkerError struct {
 func (e *WorkerError) Error() string { return fmt.Sprintf("comm: worker %d: %v", e.Worker, e.Err) }
 func (e *WorkerError) Unwrap() error { return e.Err }
 
+// HandshakeError rejects a connection whose hello frame failed validation:
+// unparseable bytes (a hostile or confused client), an out-of-range worker
+// id, or a stale membership epoch (a process from a previous incarnation of
+// the cluster dialing a respawned mesh). The socket is closed at handshake
+// time, before the peer can inject frames into a live round.
+type HandshakeError struct {
+	Worker int    // claimed worker id, -1 when the hello did not parse
+	Epoch  uint32 // claimed epoch, 0 when the hello did not parse
+	Reason string
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("comm: handshake rejected (worker %d, epoch %d): %s", e.Worker, e.Epoch, e.Reason)
+}
+
 // CrashError is surfaced by the Faulty transport when an injected worker
 // failure fires. It is not transient (retrying the send cannot help) but it
 // is recoverable: rolling back to a checkpoint and replaying succeeds because

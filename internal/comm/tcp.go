@@ -26,8 +26,12 @@ const (
 	tcpBackoffCap  = 50 * time.Millisecond
 )
 
-// tcpDial is swapped by tests to inject dial failures.
-var tcpDial = net.Dial
+// dialFunc matches net.Dial. Each transport carries its own dialer so tests
+// can inject dial failures per instance without racing other transports.
+type dialFunc func(network, addr string) (net.Conn, error)
+
+// defaultDial is the production dialer.
+var defaultDial dialFunc = net.Dial
 
 // castagnoli is the CRC32-C table used for frame integrity (same polynomial
 // iSCSI and ext4 use; hardware-accelerated on amd64/arm64).
@@ -47,16 +51,68 @@ const (
 // misparse.
 const tcpHdrSize = 17
 
-// TCP is a loopback-socket transport: every worker pair is connected with a
-// real TCP connection and frames are length-prefixed on the wire. It is the
-// closest in-process analog of the paper's MPI runtime and exists to make
-// the serialization and network path genuine; the Mem transport is the
-// default for benchmarks.
+// Handshake frame ("hello"): the first bytes written on every new socket,
+// identifying the dialer and its membership epoch before any data frame.
+//
+//	magic "FLSH" | version u8 | worker u32 | epoch u32 | crc32c u32
+//
+// The CRC covers the first 13 bytes. A peer whose hello fails to parse, names
+// an out-of-range worker, or carries a stale epoch (a process from a previous
+// incarnation of the cluster) is rejected with a *HandshakeError and its
+// socket closed — it can never poison a live round.
+const (
+	helloMagic   = "FLSH"
+	helloVersion = 2
+	helloSize    = 17
+)
+
+// EncodeHello builds the handshake frame a dialer writes first on a new
+// socket.
+func EncodeHello(worker int, epoch uint32) []byte {
+	b := make([]byte, helloSize)
+	copy(b[0:4], helloMagic)
+	b[4] = helloVersion
+	binary.LittleEndian.PutUint32(b[5:9], uint32(worker))
+	binary.LittleEndian.PutUint32(b[9:13], epoch)
+	binary.LittleEndian.PutUint32(b[13:17], crc32.Checksum(b[:13], castagnoli))
+	return b
+}
+
+// ParseHello validates a handshake frame and extracts the claimed worker id
+// and epoch. Errors are *HandshakeError; the caller still owns range and
+// epoch admission checks (ParseHello does not know the mesh size).
+func ParseHello(b []byte) (worker int, epoch uint32, err error) {
+	if len(b) != helloSize {
+		return -1, 0, &HandshakeError{Worker: -1, Reason: fmt.Sprintf("short hello: %d bytes", len(b))}
+	}
+	if string(b[0:4]) != helloMagic {
+		return -1, 0, &HandshakeError{Worker: -1, Reason: fmt.Sprintf("bad magic %q", b[0:4])}
+	}
+	if b[4] != helloVersion {
+		return -1, 0, &HandshakeError{Worker: -1, Reason: fmt.Sprintf("unsupported handshake version %d", b[4])}
+	}
+	if got, want := crc32.Checksum(b[:13], castagnoli), binary.LittleEndian.Uint32(b[13:17]); got != want {
+		return -1, 0, &HandshakeError{Worker: -1, Reason: "hello crc mismatch"}
+	}
+	w := binary.LittleEndian.Uint32(b[5:9])
+	e := binary.LittleEndian.Uint32(b[9:13])
+	if w > 1<<20 {
+		return -1, 0, &HandshakeError{Worker: -1, Epoch: e, Reason: fmt.Sprintf("implausible worker id %d", w)}
+	}
+	return int(w), e, nil
+}
+
+// TCP is a socket transport: every worker pair is connected with a real TCP
+// connection and frames are length-prefixed on the wire. In the default
+// in-process mode it builds a full loopback mesh (the closest in-process
+// analog of the paper's MPI runtime); in cluster mode (ListenTCPCluster) the
+// transport is one endpoint of a cross-process mesh, owning only its resident
+// worker's sockets.
 //
 // Wire format per frame: round uint32 | epoch uint32 | flag byte (0 data,
 // 1 end-of-round, 2 heartbeat) | length uint32 | crc32c uint32 | payload.
-// The sender id is implicit per connection; the CRC32-C spans the first 13
-// header bytes and the payload.
+// The sender id is implicit per connection (established by the hello
+// handshake); the CRC32-C spans the first 13 header bytes and the payload.
 //
 // Robustness: transient write failures are retried with capped exponential
 // backoff, and a dropped connection is redialed (the peer's accept loop
@@ -69,9 +125,24 @@ const tcpHdrSize = 17
 // deadlocking, and are also published on Err for diagnosis.
 type TCP struct {
 	m     int
+	self  int  // resident worker in cluster mode; -1 = in-process full mesh
 	hub   *Mem // mailboxes, stash and drain logic are shared with Mem
 	conns [][]*tcpConn
 	lns   []net.Listener
+
+	// dial is this transport's dialer; swapped atomically by tests to
+	// inject dial failures without racing concurrent reconnects.
+	dial atomic.Pointer[dialFunc]
+
+	// helloEpoch is stamped into outgoing hellos and required of incoming
+	// ones. It tracks the hub's membership epoch: Reset and Resize advance
+	// it, and a cluster endpoint pins it to the coordinator-assigned epoch,
+	// so sockets from a previous incarnation are rejected at handshake.
+	helloEpoch atomic.Uint32
+
+	// meshPeers receives the ids of peers whose sockets were accepted during
+	// cluster mesh formation (ConnectPeers is the consumer).
+	meshPeers chan int
 
 	reconnects atomic.Uint64
 	errs       chan error
@@ -89,11 +160,10 @@ type TCP struct {
 }
 
 type tcpConn struct {
-	mu    sync.Mutex
-	c     net.Conn
-	w     *bufio.Writer
-	addr  string // peer's listener address, for reconnects
-	hello [4]byte
+	mu   sync.Mutex
+	c    net.Conn
+	w    *bufio.Writer
+	addr string // peer's listener address, for reconnects
 }
 
 func (tc *tcpConn) writeFrame(round, epoch uint32, flag byte, data []byte) error {
@@ -133,12 +203,42 @@ func (tc *tcpConn) replace(c net.Conn) {
 	tc.mu.Unlock()
 }
 
+// drop closes the current socket without installing a replacement; the next
+// write fails with ErrConnDropped and the retry path redials.
+func (tc *tcpConn) drop() {
+	tc.mu.Lock()
+	if tc.c != nil {
+		tc.c.Close()
+		tc.c = nil
+	}
+	tc.mu.Unlock()
+}
+
+// dropIf drops the socket only if c is still the installed one. The read
+// loop calls this on exit: once the receive side of a socket has died, the
+// write side must fail fast too — the first write after a peer's FIN lands
+// in the kernel buffer without an error, which would silently lose a round
+// marker instead of triggering the redial path.
+func (tc *tcpConn) dropIf(c net.Conn) {
+	tc.mu.Lock()
+	if tc.c == c {
+		tc.c.Close()
+		tc.c = nil
+	}
+	tc.mu.Unlock()
+}
+
 // NewTCP builds a full mesh of loopback connections among m workers. A
 // failed dial fails fast: the listeners are closed so the accept loops
 // cannot block setup, and the error is returned (regression: this used to
 // deadlock in wg.Wait).
-func NewTCP(m int) (*TCP, error) {
-	t := &TCP{m: m, hub: NewMem(m), errs: make(chan error, 64)}
+func NewTCP(m int) (*TCP, error) { return newTCP(m, defaultDial) }
+
+// newTCP is NewTCP with an injectable dialer, so setup-failure tests can
+// make the initial mesh dials fail.
+func newTCP(m int, d dialFunc) (*TCP, error) {
+	t := &TCP{m: m, self: -1, hub: NewMem(m), errs: make(chan error, 64)}
+	t.dial.Store(&d)
 	if err := t.setupMesh(); err != nil {
 		t.Close()
 		return nil, err
@@ -147,11 +247,31 @@ func NewTCP(m int) (*TCP, error) {
 	return t, nil
 }
 
+// dialPeer dials through the transport's injectable dialer.
+func (t *TCP) dialPeer(addr string) (net.Conn, error) {
+	return (*t.dial.Load())("tcp", addr)
+}
+
+// SetDial swaps the transport's dialer (test hook for injecting dial
+// failures). Safe to call concurrently with reconnect attempts.
+func (t *TCP) SetDial(d func(network, addr string) (net.Conn, error)) {
+	df := dialFunc(d)
+	t.dial.Store(&df)
+}
+
+// hello builds the handshake frame identifying worker me at the current
+// epoch. Built at write time, not cached: Reset bumps the epoch mid-run and
+// reconnects must carry the live value.
+func (t *TCP) hello(me int) []byte {
+	return EncodeHello(me, t.helloEpoch.Load())
+}
+
 // setupMesh listens, dials and installs the full t.m × t.m loopback mesh.
 // Used at construction and after a membership resize; the caller flips
 // setupDone once the mesh is live.
 func (t *TCP) setupMesh() error {
 	m := t.m
+	t.helloEpoch.Store(t.hub.epoch.Load())
 	t.conns = make([][]*tcpConn, m)
 	for i := range t.conns {
 		t.conns[i] = make([]*tcpConn, m)
@@ -171,9 +291,7 @@ func (t *TCP) setupMesh() error {
 			if peer == me {
 				continue
 			}
-			tc := &tcpConn{addr: t.lns[peer].Addr().String()}
-			binary.LittleEndian.PutUint32(tc.hello[:], uint32(me))
-			t.conns[me][peer] = tc
+			t.conns[me][peer] = &tcpConn{addr: t.lns[peer].Addr().String()}
 		}
 	}
 	// Persistent accept loops: they serve both initial mesh setup and later
@@ -192,17 +310,17 @@ func (t *TCP) setupMesh() error {
 dial:
 	for j := 0; j < m; j++ {
 		for i := 0; i < j; i++ {
-			c, err := tcpDial("tcp", t.lns[i].Addr().String())
+			c, err := t.dialPeer(t.lns[i].Addr().String())
 			if err != nil {
 				dialErr = err
 				break dial
 			}
-			tc := t.conns[j][i]
-			if _, err := c.Write(tc.hello[:]); err != nil {
+			if _, err := c.Write(t.hello(j)); err != nil {
 				c.Close()
 				dialErr = err
 				break dial
 			}
+			tc := t.conns[j][i]
 			tc.replace(c)
 			t.startReadLoop(j, i, c)
 		}
@@ -225,17 +343,20 @@ func (t *TCP) startReadLoop(me, peer int, c net.Conn) {
 	go func() {
 		defer t.ioWG.Done()
 		t.readLoop(me, peer, c)
+		if tc := t.conns[me][peer]; tc != nil {
+			tc.dropIf(c)
+		}
 	}()
 }
 
 // acceptLoop accepts connections for worker me until the listener closes.
-// During setup each install is reported on accepted; afterwards installs are
-// reconnects.
+// During setup each install is reported on accepted (full-mesh mode) or
+// meshPeers (cluster mode); afterwards installs are reconnects.
 func (t *TCP) acceptLoop(me int, accepted chan<- error) {
 	for {
 		c, err := t.lns[me].Accept()
 		if err != nil {
-			if !t.setupDone.Load() && !t.closed.Load() {
+			if accepted != nil && !t.setupDone.Load() && !t.closed.Load() {
 				select {
 				case accepted <- err:
 				default:
@@ -246,37 +367,62 @@ func (t *TCP) acceptLoop(me int, accepted chan<- error) {
 		t.ioWG.Add(1)
 		go func() {
 			defer t.ioWG.Done()
-			var hello [4]byte
-			// Bound the hello wait: an accepted socket whose dialer died
-			// before identifying itself must not park this goroutine forever
-			// (Resize joins the mesh's goroutines before rebuilding).
-			c.SetReadDeadline(time.Now().Add(10 * time.Second))
-			if _, err := io.ReadFull(c, hello[:]); err != nil {
-				c.Close()
-				if !t.setupDone.Load() {
-					select {
-					case accepted <- err:
-					default:
-					}
-				}
-				return
-			}
-			c.SetReadDeadline(time.Time{})
-			peer := int(binary.LittleEndian.Uint32(hello[:]))
-			if peer < 0 || peer >= t.m || peer == me {
-				c.Close()
-				t.report(fmt.Errorf("comm: worker %d: bogus hello id %d", me, peer))
-				return
-			}
-			t.conns[me][peer].replace(c)
-			t.startReadLoop(me, peer, c)
-			if !t.setupDone.Load() {
-				select {
-				case accepted <- nil:
-				default:
-				}
-			}
+			t.handshake(me, c, accepted)
 		}()
+	}
+}
+
+// handshake validates an accepted socket's hello and installs it. A socket
+// that fails validation is closed and reported; in cluster mode a hostile or
+// stale peer never fails mesh formation (ConnectPeers keeps waiting for the
+// genuine one), while the in-process full mesh — where only our own dials
+// can arrive — fails setup fast.
+func (t *TCP) handshake(me int, c net.Conn, accepted chan<- error) {
+	var hello [helloSize]byte
+	// Bound the hello wait: an accepted socket whose dialer died before
+	// identifying itself must not park this goroutine forever (Resize joins
+	// the mesh's goroutines before rebuilding).
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		c.Close()
+		if accepted != nil && !t.setupDone.Load() {
+			select {
+			case accepted <- err:
+			default:
+			}
+		}
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	peer, epoch, err := ParseHello(hello[:])
+	if err == nil && (peer < 0 || peer >= t.m || peer == me) {
+		err = &HandshakeError{Worker: peer, Epoch: epoch, Reason: fmt.Sprintf("worker id out of range (mesh of %d, endpoint %d)", t.m, me)}
+	}
+	if err == nil {
+		if want := t.helloEpoch.Load(); epoch != want {
+			err = &HandshakeError{Worker: peer, Epoch: epoch, Reason: fmt.Sprintf("stale epoch %d (current %d)", epoch, want)}
+		}
+	}
+	if err != nil {
+		c.Close()
+		t.report(fmt.Errorf("comm: worker %d rejected connection: %w", me, err))
+		return
+	}
+	t.conns[me][peer].replace(c)
+	t.startReadLoop(me, peer, c)
+	if !t.setupDone.Load() {
+		if accepted != nil {
+			select {
+			case accepted <- nil:
+			default:
+			}
+		}
+		if t.meshPeers != nil {
+			select {
+			case t.meshPeers <- peer:
+			default:
+			}
+		}
 	}
 }
 
@@ -465,11 +611,11 @@ func (t *TCP) writeWithRetry(from, to int, round uint32, flag byte, data []byte)
 // from→to direction; to's accept loop installs the same socket for to→from.
 func (t *TCP) reconnect(from, to int) error {
 	tc := t.conns[from][to]
-	c, err := tcpDial("tcp", tc.addr)
+	c, err := t.dialPeer(tc.addr)
 	if err != nil {
 		return err
 	}
-	if _, err := c.Write(tc.hello[:]); err != nil {
+	if _, err := c.Write(t.hello(from)); err != nil {
 		c.Close()
 		return err
 	}
@@ -482,11 +628,16 @@ func (t *TCP) Drain(to int, h func(from int, data []byte)) error { return t.hub.
 
 func (t *TCP) Abort(err error) { t.hub.Abort(err) }
 
-// Reset restores the shared hub state (queues, stashes, rounds, abort). It
-// is only safe when no frames are in flight on the wire, which holds after
-// a superstep has fully aborted: every worker has stopped sending and the
+// Reset restores the shared hub state (queues, stashes, rounds, abort) and
+// advances the handshake epoch alongside the hub's frame epoch, so sockets
+// redialed after the reset identify under the new incarnation. It is only
+// safe when no frames are in flight on the wire, which holds after a
+// superstep has fully aborted: every worker has stopped sending and the
 // buffered writers were flushed or their sockets replaced.
-func (t *TCP) Reset() { t.hub.Reset() }
+func (t *TCP) Reset() {
+	t.hub.Reset()
+	t.helloEpoch.Store(t.hub.epoch.Load())
+}
 
 // Resize tears the current mesh down and rebuilds a full loopback mesh for n
 // workers under a fresh membership epoch: joining workers get listeners and
@@ -496,6 +647,9 @@ func (t *TCP) Reset() { t.hub.Reset() }
 func (t *TCP) Resize(n int) error {
 	if t.closed.Load() {
 		return net.ErrClosed
+	}
+	if t.self >= 0 {
+		return fmt.Errorf("comm: resize unsupported on a cluster endpoint")
 	}
 	if n < 1 {
 		return fmt.Errorf("comm: resize to %d workers", n)
@@ -529,12 +683,7 @@ func (t *TCP) teardownMesh() {
 			if tc == nil {
 				continue
 			}
-			tc.mu.Lock()
-			if tc.c != nil {
-				tc.c.Close()
-				tc.c = nil
-			}
-			tc.mu.Unlock()
+			tc.drop()
 		}
 	}
 	t.ioWG.Wait()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -14,16 +15,13 @@ import (
 // deadlock: a failed dial used to leave the accept side waiting forever.
 // NewTCP must instead return the error promptly with the listeners closed.
 func TestNewTCPDialFailureFailsFast(t *testing.T) {
-	orig := tcpDial
-	calls := 0
-	tcpDial = func(network, addr string) (net.Conn, error) {
-		calls++
-		if calls >= 2 {
+	var calls atomic.Int64
+	inject := func(network, addr string) (net.Conn, error) {
+		if calls.Add(1) >= 2 {
 			return nil, fmt.Errorf("injected dial failure")
 		}
 		return net.Dial(network, addr)
 	}
-	defer func() { tcpDial = orig }()
 
 	type result struct {
 		tr  *TCP
@@ -31,7 +29,7 @@ func TestNewTCPDialFailureFailsFast(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		tr, err := NewTCP(4) // 6 pair dials; the 2nd fails
+		tr, err := newTCP(4, inject) // 6 pair dials; the 2nd fails
 		done <- result{tr, err}
 	}()
 	select {
@@ -53,9 +51,7 @@ func hostileConn(t *testing.T, tr *TCP, me, peer int) net.Conn {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(peer))
-	if _, err := c.Write(hello[:]); err != nil {
+	if _, err := c.Write(EncodeHello(peer, tr.helloEpoch.Load())); err != nil {
 		t.Fatal(err)
 	}
 	return c

@@ -153,6 +153,9 @@ func (e *Engine[V]) Err() error { return e.failed }
 //
 //flash:amortized once per superstep, not per element
 func (e *Engine[V]) execStep(frontier int, exec replayStep[V]) *Subset {
+	if e.resident >= 0 {
+		return e.execStepCluster(frontier, exec)
+	}
 	if e.failed != nil {
 		panic(runtimeFailure{fmt.Errorf("core: engine already failed: %w", e.failed)})
 	}
@@ -233,6 +236,11 @@ func (e *Engine[V]) canRecover(err error) bool {
 	}
 	if errors.Is(err, ErrEngineClosed) {
 		// The user tore the engine down; replaying the run would fight Close.
+		return false
+	}
+	if e.resident >= 0 {
+		// Cluster mode: recovery is the coordinator's restart-all under a
+		// fresh epoch, never an in-process rollback (peer state is remote).
 		return false
 	}
 	return e.cfg.CheckpointEvery > 0 && e.hasCkpt && e.recoveries < e.cfg.MaxRecoveries

@@ -143,6 +143,13 @@ type Config struct {
 	// serving layer uses it to account each job's mutable state without
 	// reaching into engine internals.
 	RunStats func(RunStats)
+	// Cluster, when non-nil, switches the engine into multi-process SPMD
+	// mode: this process computes only Cluster.Resident, peers own the other
+	// workers, and Transport must be a cross-process endpoint
+	// (comm.ListenTCPCluster) already connected to them. In-process
+	// rollback recovery, resize, fault plans, shared graphs and the block
+	// backend are unavailable in cluster mode.
+	Cluster *ClusterSpec
 }
 
 // RunStats is the final summary handed to Config.RunStats when the engine
@@ -256,6 +263,30 @@ func (c *Config) validate() error {
 	if c.BlockCacheBytes < 0 {
 		return &ConfigError{"BlockCacheBytes", fmt.Sprintf("must be >= 0, got %d", c.BlockCacheBytes)}
 	}
+	if cl := c.Cluster; cl != nil {
+		if cl.Resident < 0 || cl.Resident >= c.Workers {
+			return &ConfigError{"Cluster.Resident", fmt.Sprintf("must be in [0,%d), got %d", c.Workers, cl.Resident)}
+		}
+		if c.Transport == nil {
+			return &ConfigError{"Cluster", "requires an explicit cross-process Transport (comm.ListenTCPCluster)"}
+		}
+		if cl.ResumeSeq > 0 && cl.Store == nil {
+			return &ConfigError{"Cluster.ResumeSeq", "requires Cluster.Store"}
+		}
+		// These features assume every worker's state lives in this process.
+		if c.ResizePolicy != nil {
+			return &ConfigError{"ResizePolicy", "unsupported in cluster mode"}
+		}
+		if c.FaultPlan != nil {
+			return &ConfigError{"FaultPlan", "unsupported in cluster mode (faults are injected at the process level)"}
+		}
+		if c.Shared != nil {
+			return &ConfigError{"Shared", "unsupported in cluster mode"}
+		}
+		if c.BlockGraph != nil {
+			return &ConfigError{"BlockGraph", "unsupported in cluster mode"}
+		}
+	}
 	// A heartbeat interval at or beyond the drain deadline makes every living
 	// peer look heartbeat-silent, so any stall would be misclassified as a
 	// permanent death (ErrPeerDead) and trigger pointless cold restarts.
@@ -328,6 +359,15 @@ type Engine[V any] struct {
 	// Liveness: per-worker background heartbeaters (HeartbeatEvery > 0).
 	hbStop []chan struct{}
 	hbDone []chan struct{}
+
+	// Cluster mode (Config.Cluster non-nil): resident is the one worker this
+	// process computes (-1 in-process), cstore the durable checkpoint+log
+	// store, and ffRecs/ffPos the fast-forward replay cursor armed by a
+	// resume (see cluster.go).
+	resident int
+	cstore   *WorkerStore
+	ffRecs   []clusterLogRecord
+	ffPos    int
 }
 
 // worker is the per-worker state ("process memory").
@@ -475,9 +515,18 @@ func NewEngine[V any](g *graph.Graph, cfg Config) (*Engine[V], error) {
 	e.opCond = sync.NewCond(&e.opMu)
 	e.placeHist = []partition.Placement{place}
 	e.store = cfg.Store
+	e.resident = -1
+	if cfg.Cluster != nil {
+		e.resident = cfg.Cluster.Resident
+	}
 	e.workers = make([]*worker[V], cfg.Workers)
 	for wi := range e.workers {
 		e.workers[wi] = e.newWorker(wi)
+	}
+	if cfg.Cluster != nil {
+		if err := e.initCluster(); err != nil {
+			return nil, err
+		}
 	}
 	e.startHeartbeaters()
 	return e, nil
@@ -501,6 +550,15 @@ func (e *Engine[V]) newWorkerAt(wi int, part *partition.Partitioned, place parti
 	st := part.Parts[wi].Slots
 	if cfg.FullMirrors {
 		st = partition.FullSlotTable(place, wi, n)
+	}
+	if e.resident >= 0 && wi != e.resident {
+		// Cluster shell: the worker's state lives in a peer process. Only the
+		// shared placement metadata (and a metrics shard, for the merge loop)
+		// is kept; every state slice stays nil so any accidental local use
+		// fails loudly instead of silently diverging from the real owner.
+		w := &worker[V]{id: wi, eng: e, part: part.Parts[wi], st: st, met: metrics.New()}
+		w.ctx = Ctx[V]{G: e.g, w: w}
+		return w
 	}
 	w := &worker[V]{
 		id:       wi,
@@ -646,6 +704,9 @@ func (e *Engine[V]) parallelWorkers(f func(w *worker[V]) error) error {
 	errs := make([]error, len(e.workers))
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
+		if e.resident >= 0 && w.id != e.resident {
+			continue // cluster shell: the peer process runs this worker
+		}
 		w := w
 		wg.Add(1)
 		go func() {
@@ -975,6 +1036,9 @@ func (e *Engine[V]) StateBytes() uint64 {
 	bitsetBytes := func(b *bitset.Bitset) uint64 { return uint64(len(b.Words())) * 8 }
 	var total uint64
 	for _, w := range e.workers {
+		if w.cur == nil {
+			continue // cluster shell: no local state
+		}
 		total += uint64(cap(w.cur)) * vsz
 		total += uint64(cap(w.next)) * vsz
 		total += uint64(cap(w.pendVal)) * vsz

@@ -85,6 +85,11 @@ func (e *Engine[V]) Resize(n int) error {
 	if n < 1 {
 		return &ConfigError{"Workers", fmt.Sprintf("must be >= 1, got %d (Resize)", n)}
 	}
+	if e.resident >= 0 {
+		// Cluster membership is the coordinator's to change: it respawns the
+		// fleet under a fresh epoch instead of migrating state in place.
+		return &ConfigError{"Workers", "resize unsupported in cluster mode"}
+	}
 	if n == e.cfg.Workers {
 		return nil
 	}

@@ -98,6 +98,9 @@ func (e *Engine[V]) startHeartbeatersN(n int) {
 	e.hbStop = make([]chan struct{}, n)
 	e.hbDone = make([]chan struct{}, n)
 	for w := 0; w < n; w++ {
+		if e.resident >= 0 && w != e.resident {
+			continue // cluster shell: the owning process heartbeats for it
+		}
 		e.startHeartbeater(w)
 	}
 }

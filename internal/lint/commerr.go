@@ -22,7 +22,7 @@ import (
 // channels. The remaining analyzers do check test files in the self-check.
 var CommErr = &Analyzer{
 	Name: "commerr",
-	Doc:  "transport Send/EndRound/Drain/Resize, Engine.Run/Resize, serve Submit/Load/Add/Evict, and block I/O (ReadBlock/WriteBlockFile) errors must be checked or //flash:ignore-err annotated",
+	Doc:  "transport Send/EndRound/Drain/Resize/ConnectPeers, Engine.Run/Resize, Coordinator.Run/Interrupt, serve Submit/Load/Add/Evict, and block I/O (ReadBlock/WriteBlockFile) errors must be checked or //flash:ignore-err annotated",
 	Run:  runCommErr,
 }
 
@@ -44,6 +44,7 @@ var commErrReceivers = map[string]bool{
 	"Server":          true, // serve.Server (job admission surface)
 	"Scheduler":       true, // serve.Scheduler (job admission surface)
 	"BlockGraph":      true, // graph.BlockGraph (out-of-core read surface)
+	"Coordinator":     true, // cluster.Coordinator (multi-process job surface)
 }
 
 var commErrMethods = map[string]bool{
@@ -58,6 +59,14 @@ var commErrMethods = map[string]bool{
 	"Evict":     true, // a dropped Evict error hides a stale catalog entry
 	"Add":       true, // a dropped Add error serves jobs from a graph that was never registered
 	"ReadBlock": true, // a dropped ReadBlock error computes over a phantom (zero) block
+	// Cluster mode (multi-process fleets): a dropped ConnectPeers error runs
+	// a job over a half-connected mesh that deadlocks at the first barrier;
+	// a dropped Coordinator.Run error loses the worker verdict (which worker
+	// died, why, and whether the restart budget ran out) along with the job
+	// result; a dropped Interrupt error leaves a worker the test believed it
+	// had drained still computing.
+	"ConnectPeers": true,
+	"Interrupt":    true,
 }
 
 // commErrPkgFuncs are package-level fault-surface functions, matched by
